@@ -1,0 +1,59 @@
+// Figure 7(a): relative standard deviation vs query time for Conviva C8,
+// with the batch baseline's completion time as the reference point.
+//
+// Paper shape: the first approximate answer arrives at a small fraction of
+// the baseline latency (~6% in the paper), the error decays roughly like
+// 1/sqrt(data processed), and updates arrive at a steady per-batch pace.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace iolap;  // NOLINT — bench brevity
+
+int main() {
+  auto catalog = ConvivaBenchCatalog();
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  const BenchQuery query = FindConvivaQuery("c8");
+
+  auto baseline =
+      RunBenchQuery(*catalog, query, BenchOptions(ExecutionMode::kBaseline));
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 1;
+  }
+
+  EngineOptions options = BenchOptions(ExecutionMode::kIolap);
+  options.num_batches = 40;
+  std::vector<double> rel_err;
+  auto outcome = RunBenchQuery(*catalog, query, options,
+                               [&](const PartialResult& partial) {
+                                 rel_err.push_back(
+                                     bench::WorstRelStddev(partial));
+                                 return BatchAction::kContinue;
+                               });
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::Header("Figure 7(a)",
+                "relative stdev vs time, Conviva C8 (" + query.sql + ")",
+                "batch\ttime_s\trel_stddev\tfraction");
+  const auto cumulative = bench::CumulativeLatency(outcome->metrics);
+  for (size_t b = 0; b < rel_err.size(); ++b) {
+    std::printf("%zu\t%.4f\t%.5f\t%.3f\n", b, cumulative[b], rel_err[b],
+                outcome->metrics.batches[b].fraction_processed);
+  }
+  std::printf("# baseline completes at t=%.4f s (vertical bar in the paper)\n",
+              baseline->metrics.TotalLatencySec());
+  std::printf("# first approximate answer at t=%.4f s (%.1f%% of baseline)\n",
+              cumulative.empty() ? 0.0 : cumulative[0],
+              baseline->metrics.TotalLatencySec() > 0 && !cumulative.empty()
+                  ? 100.0 * cumulative[0] / baseline->metrics.TotalLatencySec()
+                  : 0.0);
+  return 0;
+}

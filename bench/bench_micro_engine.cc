@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) of the engine's hot paths: the
+// per-tuple costs the figure benches aggregate. Useful for regression
+// tracking and for understanding where per-batch time goes.
+
+#include <benchmark/benchmark.h>
+
+#include "bootstrap/poisson_multiplicities.h"
+#include "bootstrap/trial_accumulator.h"
+#include "core/expr.h"
+#include "core/function_registry.h"
+#include "exec/hash_aggregate.h"
+#include "exec/operators.h"
+
+namespace iolap {
+namespace {
+
+// Arithmetic + comparison expression evaluation over a row.
+void BM_ExprEval(benchmark::State& state) {
+  auto functions = FunctionRegistry::Default();
+  EvalContext ctx;
+  ctx.functions = functions.get();
+  // (price * (1 - discount)) > 1000 AND quantity < 24
+  auto expr = And(Gt(Mul(Col(0, "price", ValueType::kDouble),
+                         Sub(Lit(1.0), Col(1, "discount", ValueType::kDouble))),
+                     Lit(1000.0)),
+                  Lt(Col(2, "quantity", ValueType::kDouble), Lit(24.0)));
+  Row row = {Value::Double(1500), Value::Double(0.05), Value::Double(10)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr->Eval(row, ctx));
+  }
+}
+BENCHMARK(BM_ExprEval);
+
+// The §5 classification check: interval comparison against a variation
+// range — the per-tuple cost of tuple-uncertainty partitioning.
+void BM_ClassifyPredicate(benchmark::State& state) {
+  class FixedResolver final : public AggLookupResolver {
+   public:
+    Value Lookup(int, int, const Row&) const override {
+      return Value::Double(37.0);
+    }
+    Value LookupTrial(int, int, const Row&, int) const override {
+      return Value::Double(37.0);
+    }
+    Interval LookupRange(int, int, const Row&) const override {
+      return Interval(21.1, 53.9);
+    }
+  };
+  static FixedResolver resolver;
+  auto functions = FunctionRegistry::Default();
+  EvalContext ctx;
+  ctx.functions = functions.get();
+  ctx.resolver = &resolver;
+  auto lookup = std::make_shared<AggLookupExpr>(0, 0, std::vector<ExprPtr>{},
+                                                ValueType::kDouble, "avg");
+  auto pred = Gt(Col(0, "buffer_time", ValueType::kDouble), ExprPtr(lookup));
+  Row row = {Value::Double(58.0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClassifyPredicate(*pred, row, ctx));
+  }
+}
+BENCHMARK(BM_ClassifyPredicate);
+
+// Deterministic Poisson(1) bootstrap weights for one row across trials.
+void BM_PoissonWeights(benchmark::State& state) {
+  const int trials = static_cast<int>(state.range(0));
+  BootstrapWeights weights(42, trials);
+  uint64_t uid = 0;
+  for (auto _ : state) {
+    int sum = 0;
+    for (int t = 0; t < trials; ++t) sum += weights.WeightAt(uid, t);
+    benchmark::DoNotOptimize(sum);
+    ++uid;
+  }
+  state.SetItemsProcessed(state.iterations() * trials);
+}
+BENCHMARK(BM_PoissonWeights)->Arg(20)->Arg(100);
+
+// Folding one tuple into a sketch across all bootstrap trials: the
+// dominant per-tuple cost of an online AGGREGATE.
+void BM_TrialAccumulate(benchmark::State& state) {
+  const int trials = static_cast<int>(state.range(0));
+  auto fn = MakeBuiltinAggFunction(AggKind::kAvg);
+  TrialAccumulatorSet acc(*fn, trials);
+  std::vector<int> weights(trials, 1);
+  const Value v = Value::Double(3.25);
+  for (auto _ : state) {
+    acc.Add(v, 1.0, weights.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (trials + 1));
+}
+BENCHMARK(BM_TrialAccumulate)->Arg(0)->Arg(20)->Arg(100);
+
+// Incremental hash-join probe (dimension-cache lookup).
+void BM_JoinProbe(benchmark::State& state) {
+  JoinStep step({0}, {0}, /*input_grows=*/false, /*prefix_grows=*/true);
+  RowBatch dim;
+  for (int i = 0; i < 1000; ++i) {
+    ExecRow row;
+    row.values = {Value::Int64(i), Value::String("payload")};
+    dim.push_back(row);
+  }
+  RowBatch out;
+  step.ProcessBatch({}, dim, &out);
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(step.ProbeCount({Value::Int64(key % 1000)}));
+    ++key;
+  }
+}
+BENCHMARK(BM_JoinProbe);
+
+// Group lookup + accumulate in the grouped sketch.
+void BM_GroupedAggregate(benchmark::State& state) {
+  std::vector<AggSpec> specs;
+  specs.push_back(AggSpec{MakeBuiltinAggFunction(AggKind::kSum),
+                          Col(0, "x", ValueType::kDouble), "s"});
+  GroupedAggregateState groups(&specs, /*num_trials=*/20);
+  std::vector<int> weights(20, 1);
+  int64_t g = 0;
+  for (auto _ : state) {
+    auto& cells = groups.GetOrCreate({Value::Int64(g % 64)}, 0);
+    cells.aggs[0].Add(Value::Double(1.5), 1.0, weights.data());
+    ++g;
+  }
+}
+BENCHMARK(BM_GroupedAggregate);
+
+}  // namespace
+}  // namespace iolap
+
+BENCHMARK_MAIN();

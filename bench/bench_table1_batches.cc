@@ -1,0 +1,40 @@
+// Table 1: batch sizes used for the relations that are streamed in.
+//
+// The paper streams lineorder (11.5 GB / 86M tuples per batch), partsupp
+// (7.5 GB / 80M) and customer (2.5 GB / 15M) on a 20-node cluster. This
+// bench prints our scaled equivalents: per streamed relation, the default
+// per-batch tuple count and payload size under the bench configuration.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace iolap;  // NOLINT — bench brevity
+
+int main() {
+  bench::Header("Table 1", "batch sizes for the streamed relations",
+                "workload\trelation\ttotal_rows\tbatches\trows_per_batch\t"
+                "bytes_per_batch");
+  const size_t batches = BenchBatches();
+
+  for (const char* table : {"lineorder", "partsupp", "customer"}) {
+    auto catalog = TpchCatalogStreaming(table);
+    if (!catalog.ok()) {
+      std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+      return 1;
+    }
+    const Table& t = *(*(*catalog)->Find(table))->table;
+    std::printf("tpch\t%s\t%zu\t%zu\t%zu\t%zu\n", table, t.num_rows(), batches,
+                t.num_rows() / batches, t.ByteSize() / batches);
+  }
+  auto conviva = ConvivaBenchCatalog();
+  if (!conviva.ok()) {
+    std::fprintf(stderr, "%s\n", conviva.status().ToString().c_str());
+    return 1;
+  }
+  const Table& sessions = *(*(*conviva)->Find("sessions"))->table;
+  std::printf("conviva\tsessions\t%zu\t%zu\t%zu\t%zu\n", sessions.num_rows(),
+              batches, sessions.num_rows() / batches,
+              sessions.ByteSize() / batches);
+  return 0;
+}

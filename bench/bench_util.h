@@ -1,0 +1,84 @@
+#ifndef IOLAP_BENCH_BENCH_UTIL_H_
+#define IOLAP_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction benches. Every bench binary
+// prints the series behind one table/figure of the paper in a stable,
+// grep-friendly format:
+//
+//   # <figure id>: <description>
+//   # columns: <tab-separated column names>
+//   <rows...>
+//
+// Absolute numbers differ from the paper (single machine vs a 20-node EC2
+// cluster); EXPERIMENTS.md records which *shapes* must hold.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workloads/experiment_driver.h"
+
+namespace iolap {
+namespace bench {
+
+inline void Header(const std::string& figure, const std::string& description,
+                   const std::string& columns) {
+  std::printf("# %s: %s\n", figure.c_str(), description.c_str());
+  std::printf("# columns: %s\n", columns.c_str());
+}
+
+/// Worst relative standard deviation across all estimated cells of a
+/// partial result (the accuracy measure of Fig. 7).
+inline double WorstRelStddev(const PartialResult& partial) {
+  double worst = 0.0;
+  for (const auto& row : partial.estimates) {
+    for (const ErrorEstimate& est : row) {
+      worst = std::max(worst, est.rel_stddev);
+    }
+  }
+  return worst;
+}
+
+/// Cumulative engine latency after each batch.
+inline std::vector<double> CumulativeLatency(const QueryMetrics& metrics) {
+  std::vector<double> cumulative;
+  double total = 0.0;
+  for (const BatchMetrics& b : metrics.batches) {
+    total += b.latency_sec;
+    cumulative.push_back(total);
+  }
+  return cumulative;
+}
+
+/// Engine latency until `fraction` of the data is processed.
+inline double LatencyToFraction(const QueryMetrics& metrics, double fraction) {
+  double total = 0.0;
+  for (const BatchMetrics& b : metrics.batches) {
+    total += b.latency_sec;
+    if (b.fraction_processed >= fraction) break;
+  }
+  return total;
+}
+
+/// Smaller catalogs for the mode-comparison benches (HDA re-evaluates all
+/// accumulated data each batch, which is exactly the quadratic blow-up the
+/// figures demonstrate — run it on a reduced instance to keep the sweep
+/// fast).
+inline Result<std::shared_ptr<Catalog>> SmallCatalogFor(const BenchQuery& query,
+                                                        bool conviva,
+                                                        double factor) {
+  if (conviva) {
+    ConvivaConfig config;
+    config = config.Scaled(BenchScale() * factor);
+    return MakeConvivaCatalog(config);
+  }
+  TpchConfig config;
+  config = config.Scaled(BenchScale() * factor);
+  return MakeTpchCatalog(config, query.streamed_table);
+}
+
+}  // namespace bench
+}  // namespace iolap
+
+#endif  // IOLAP_BENCH_BENCH_UTIL_H_

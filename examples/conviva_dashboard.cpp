@@ -1,0 +1,66 @@
+// Conviva-style monitoring dashboard: runs the full C1–C12 workload
+// incrementally and prints, per query, the time to reach a 2% relative
+// error versus the time to the exact answer — the latency/accuracy
+// trade-off the paper's §8.1 measures.
+
+#include <cstdio>
+#include <string>
+
+#include "common/timer.h"
+#include "workloads/experiment_driver.h"
+
+using namespace iolap;  // NOLINT — example brevity
+
+int main() {
+  auto catalog = ConvivaBenchCatalog();
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-5s %-7s %10s %12s %12s %10s  %s\n", "query", "kind",
+              "batches", "t(2%err)", "t(total)", "recomp", "first answer");
+  for (const BenchQuery& query : ConvivaQueries()) {
+    EngineOptions options = BenchOptions(ExecutionMode::kIolap);
+    options.num_batches = 20;
+
+    double time_to_2pct = -1.0;
+    double elapsed = 0.0;
+    std::string first_answer = "-";
+    WallTimer timer;
+    auto outcome = RunBenchQuery(
+        *catalog, query, options, [&](const PartialResult& partial) {
+          elapsed = timer.ElapsedSeconds();
+          if (partial.batch == 0 && partial.rows.num_rows() > 0) {
+            first_answer = RowToString(partial.rows.row(0));
+          }
+          // Worst relative stdev across all estimated cells.
+          double worst = 0.0;
+          for (const auto& row : partial.estimates) {
+            for (const ErrorEstimate& est : row) {
+              worst = std::max(worst, est.rel_stddev);
+            }
+          }
+          if (time_to_2pct < 0 && !partial.estimates.empty() &&
+              worst <= 0.02) {
+            time_to_2pct = elapsed;
+          }
+          return BatchAction::kContinue;
+        });
+    if (!outcome.ok()) {
+      std::printf("%-5s FAILED: %s\n", query.id.c_str(),
+                  outcome.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-5s %-7s %10zu %11.3fs %11.3fs %10llu  %s\n",
+                query.id.c_str(), query.nested ? "nested" : "spja",
+                outcome->metrics.batches.size(),
+                time_to_2pct < 0 ? outcome->metrics.TotalLatencySec()
+                                 : time_to_2pct,
+                outcome->metrics.TotalLatencySec(),
+                static_cast<unsigned long long>(
+                    outcome->metrics.TotalRecomputedRows()),
+                first_answer.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Interactive iOLAP shell: load CSV files, mark one as streamed, and run
+// SQL queries incrementally from a REPL — the closest thing to the demo
+// the authors gave of the system [38].
+//
+//   iolap_shell [csv files...]
+//
+// Commands:
+//   \load <path> [name]        register a CSV file as a table
+//   \stream <table>            mark the relation to process online
+//   \tables                    list registered tables
+//   \batches <n>               set the mini-batch count   (default 20)
+//   \trials <n>                set bootstrap trial count  (default 100)
+//   \analytic on|off           closed-form estimator instead of bootstrap
+//   \mode iolap|hda|baseline   execution mode
+//   \demo                      load the built-in sessions demo dataset
+//   \quit
+//   any other input is parsed as SQL and executed incrementally.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/csv.h"
+#include "iolap/session.h"
+#include "workloads/conviva.h"
+
+using namespace iolap;  // NOLINT — example brevity
+
+namespace {
+
+struct ShellState {
+  Catalog catalog;
+  EngineOptions options;
+  std::shared_ptr<FunctionRegistry> functions = FunctionRegistry::Default();
+};
+
+void LoadCsv(ShellState* state, const std::string& path,
+             std::string name) {
+  if (name.empty()) {
+    // Derive the table name from the file name.
+    size_t slash = path.find_last_of('/');
+    name = slash == std::string::npos ? path : path.substr(slash + 1);
+    const size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos) name = name.substr(0, dot);
+  }
+  auto table = ReadCsvFile(path);
+  if (!table.ok()) {
+    std::printf("error: %s\n", table.status().ToString().c_str());
+    return;
+  }
+  const size_t rows = table->num_rows();
+  const std::string schema = table->schema().ToString();
+  Status status = state->catalog.RegisterTable(name, std::move(*table), false);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("loaded %s: %zu rows, %s\n", name.c_str(), rows, schema.c_str());
+}
+
+void RunSql(ShellState* state, const std::string& sql) {
+  Session session(&state->catalog, state->options, state->functions);
+  auto query = session.Sql(sql);
+  if (!query.ok()) {
+    std::printf("error: %s\n", query.status().ToString().c_str());
+    return;
+  }
+  Status status = (*query)->Run([](const PartialResult& partial) {
+    double worst = 0.0;
+    for (const auto& row : partial.estimates) {
+      for (const ErrorEstimate& est : row) {
+        worst = std::max(worst, est.rel_stddev);
+      }
+    }
+    std::printf("\r[batch %3d | %5.1f%% | ±%.2f%%] ", partial.batch,
+                100.0 * partial.fraction_processed, 100.0 * worst);
+    std::fflush(stdout);
+    return BatchAction::kContinue;
+  });
+  if (!status.ok()) {
+    std::printf("\nerror: %s\n", status.ToString().c_str());
+    return;
+  }
+  const PartialResult& result = (*query)->last_result();
+  std::printf("\n%s", result.rows.ToString(25).c_str());
+  if (!result.estimates.empty() && !result.estimated_columns.empty()) {
+    std::printf("(first row estimates:");
+    for (size_t k = 0; k < result.estimated_columns.size(); ++k) {
+      std::printf(" %s", result.estimates[0][k].ToString().c_str());
+    }
+    std::printf(")\n");
+  }
+  std::printf("%s\n", (*query)->metrics().Summary().c_str());
+}
+
+void Demo(ShellState* state) {
+  ConvivaConfig config;
+  config.sessions = 40000;
+  auto demo = MakeConvivaCatalog(config);
+  if (!demo.ok()) {
+    std::printf("error: %s\n", demo.status().ToString().c_str());
+    return;
+  }
+  auto entry = (*demo)->Find("sessions");
+  Status status = state->catalog.RegisterTable("sessions", (*entry)->table,
+                                               /*streamed=*/true);
+  RegisterConvivaUdfs(state->functions.get());
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("demo sessions table registered (streamed). Try:\n"
+              "  SELECT AVG(play_time) FROM sessions WHERE buffer_time > "
+              "(SELECT AVG(buffer_time) FROM sessions)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShellState state;
+  state.options.num_batches = 20;
+  for (int i = 1; i < argc; ++i) LoadCsv(&state, argv[i], "");
+
+  std::printf("iOLAP shell — \\demo for sample data, \\quit to exit\n");
+  std::string line;
+  while (true) {
+    std::printf("iolap> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream in(line);
+    std::string word;
+    in >> word;
+    if (word.empty()) continue;
+    if (word == "\\quit" || word == "\\q") break;
+    if (word == "\\demo") {
+      Demo(&state);
+    } else if (word == "\\load") {
+      std::string path, name;
+      in >> path >> name;
+      if (path.empty()) {
+        std::printf("usage: \\load <path> [name]\n");
+      } else {
+        LoadCsv(&state, path, name);
+      }
+    } else if (word == "\\stream") {
+      std::string table;
+      in >> table;
+      Status status = state.catalog.SetStreamed(table, true);
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+    } else if (word == "\\tables") {
+      for (const std::string& name : state.catalog.TableNames()) {
+        auto entry = state.catalog.Find(name);
+        std::printf("  %s%s (%zu rows)\n", name.c_str(),
+                    (*entry)->streamed ? " [streamed]" : "",
+                    (*entry)->table->num_rows());
+      }
+    } else if (word == "\\batches") {
+      in >> state.options.num_batches;
+      std::printf("batches = %zu\n", state.options.num_batches);
+    } else if (word == "\\trials") {
+      in >> state.options.num_trials;
+      std::printf("trials = %d\n", state.options.num_trials);
+    } else if (word == "\\analytic") {
+      std::string flag;
+      in >> flag;
+      state.options.error_method =
+          flag == "on" ? ErrorMethod::kAnalytic : ErrorMethod::kBootstrap;
+      std::printf("estimator = %s\n", flag == "on" ? "analytic" : "bootstrap");
+    } else if (word == "\\mode") {
+      std::string mode;
+      in >> mode;
+      if (mode == "hda") state.options.mode = ExecutionMode::kHda;
+      else if (mode == "baseline") state.options.mode = ExecutionMode::kBaseline;
+      else state.options.mode = ExecutionMode::kIolap;
+      std::printf("mode = %s\n", mode.c_str());
+    } else if (word[0] == '\\') {
+      std::printf("unknown command %s\n", word.c_str());
+    } else {
+      RunSql(&state, line);
+    }
+  }
+  return 0;
+}

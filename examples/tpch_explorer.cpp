@@ -1,0 +1,66 @@
+// TPC-H explorer: run any of the paper's TPC-H queries incrementally from
+// the command line and watch the refinement.
+//
+//   tpch_explorer [query_id] [mode] [batches]
+//     query_id : q1 q3 q5 q6 q7 q11 q17 q18 q20 q22   (default q17)
+//     mode     : iolap | hda | baseline                (default iolap)
+//     batches  : mini-batch count                      (default 20)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workloads/experiment_driver.h"
+
+using namespace iolap;  // NOLINT — example brevity
+
+int main(int argc, char** argv) {
+  const std::string id = argc > 1 ? argv[1] : "q17";
+  const std::string mode_name = argc > 2 ? argv[2] : "iolap";
+  const size_t batches = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 20;
+
+  const BenchQuery query = FindTpchQuery(id);
+  if (query.sql.empty()) {
+    std::fprintf(stderr, "unknown query '%s'\n", id.c_str());
+    return 1;
+  }
+  ExecutionMode mode = ExecutionMode::kIolap;
+  if (mode_name == "hda") mode = ExecutionMode::kHda;
+  if (mode_name == "baseline") mode = ExecutionMode::kBaseline;
+
+  std::printf("-- %s (%s, streamed: %s)\n%s\n\n", query.id.c_str(),
+              query.nested ? "nested" : "simple SPJA",
+              query.streamed_table.c_str(), query.sql.c_str());
+
+  auto catalog = TpchCatalogStreaming(query.streamed_table);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  EngineOptions options = BenchOptions(mode);
+  options.num_batches = batches;
+
+  auto outcome = RunBenchQuery(
+      *catalog, query, options, [](const PartialResult& partial) {
+        double worst = 0.0;
+        for (const auto& row : partial.estimates) {
+          for (const ErrorEstimate& est : row) {
+            worst = std::max(worst, est.rel_stddev);
+          }
+        }
+        std::printf("batch %3d  %5.1f%% of data  %4zu row(s)  worst rel.stdev "
+                    "%.4f\n",
+                    partial.batch, 100.0 * partial.fraction_processed,
+                    partial.rows.num_rows(), worst);
+        return BatchAction::kContinue;
+      });
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nfinal result:\n%s\n",
+              outcome->final_result.rows.ToString(10).c_str());
+  std::printf("metrics: %s\n", outcome->metrics.Summary().c_str());
+  return 0;
+}

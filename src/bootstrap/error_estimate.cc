@@ -1,0 +1,79 @@
+#include "bootstrap/error_estimate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace iolap {
+
+std::string ErrorEstimate::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.6g ± %.3g (95%% CI [%.6g, %.6g])", value,
+                2 * stddev, ci_lo, ci_hi);
+  return buf;
+}
+
+ErrorEstimate EstimateError(double value, const std::vector<double>& trials) {
+  ErrorEstimate est;
+  est.value = value;
+  est.ci_lo = value;
+  est.ci_hi = value;
+  if (trials.size() < 2) return est;
+
+  double sum = 0.0;
+  for (double t : trials) sum += t;
+  const double mean = sum / trials.size();
+  double ss = 0.0;
+  for (double t : trials) ss += (t - mean) * (t - mean);
+  est.stddev = std::sqrt(ss / (trials.size() - 1));
+  est.rel_stddev = value != 0.0 ? est.stddev / std::fabs(value) : est.stddev;
+
+  // Percentile CI.
+  std::vector<double> sorted = trials;
+  std::sort(sorted.begin(), sorted.end());
+  auto percentile = [&sorted](double p) {
+    const double pos = p * (sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - lo;
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  est.ci_lo = percentile(0.025);
+  est.ci_hi = percentile(0.975);
+  return est;
+}
+
+double AnalyticUnscaledStddev(const std::string& agg_name, double n,
+                              double variance) {
+  if (n <= 0.0) return 0.0;
+  if (agg_name == "sum") return std::sqrt(n * variance);
+  if (agg_name == "count") return std::sqrt(n);
+  if (agg_name == "avg") return n > 1.0 ? std::sqrt(variance / n) : 0.0;
+  return -1.0;
+}
+
+ErrorEstimate EstimateFromStddev(double value, double stddev) {
+  ErrorEstimate est;
+  est.value = value;
+  est.stddev = stddev < 0.0 ? 0.0 : stddev;
+  est.rel_stddev = value != 0.0 ? est.stddev / std::fabs(value) : est.stddev;
+  est.ci_lo = value - 1.96 * est.stddev;
+  est.ci_hi = value + 1.96 * est.stddev;
+  return est;
+}
+
+ErrorEstimate AnalyticEstimate(double value, double sample_variance,
+                               double sample_count) {
+  ErrorEstimate est;
+  est.value = value;
+  est.ci_lo = value;
+  est.ci_hi = value;
+  if (sample_count <= 1.0 || sample_variance < 0.0) return est;
+  est.stddev = std::sqrt(sample_variance / sample_count);
+  est.rel_stddev = value != 0.0 ? est.stddev / std::fabs(value) : est.stddev;
+  est.ci_lo = value - 1.96 * est.stddev;
+  est.ci_hi = value + 1.96 * est.stddev;
+  return est;
+}
+
+}  // namespace iolap

@@ -1,0 +1,51 @@
+#ifndef IOLAP_BOOTSTRAP_ERROR_ESTIMATE_H_
+#define IOLAP_BOOTSTRAP_ERROR_ESTIMATE_H_
+
+#include <string>
+#include <vector>
+
+namespace iolap {
+
+/// Error estimate of one approximate aggregate value, computed from the
+/// empirical distribution of its bootstrap trial replicas (§2, "Error
+/// Estimation"). `rel_stddev` is the relative standard deviation the paper
+/// plots in Figure 7(a); the confidence interval is the 2.5/97.5 percentile
+/// band of the replicas.
+struct ErrorEstimate {
+  double value = 0.0;
+  double stddev = 0.0;
+  double rel_stddev = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Builds the estimate for `value` from `trials`. With fewer than two
+/// replicas the estimate degenerates to a zero-width band around `value`.
+ErrorEstimate EstimateError(double value, const std::vector<double>& trials);
+
+/// Closed-form alternative for linear aggregates (extension; the paper
+/// notes analytical bootstrap [39] is orthogonal and pluggable): normal
+/// approximation from a sample variance. Used by the ablation bench to
+/// compare against simulation bootstrap.
+ErrorEstimate AnalyticEstimate(double value, double sample_variance,
+                               double sample_count);
+
+/// Closed-form *unscaled* standard deviation of an aggregate estimate,
+/// from the input moments of its group: for `agg_name` in
+/// {sum, count, avg}, the sampling stddev of the estimator before
+/// multiplicity scaling (the engine scales it exactly like the aggregate
+/// itself; the finite-population correction is applied at display time).
+/// Returns a negative value for aggregates without a closed form (UDAFs,
+/// variance, ...), which then fall back to bootstrap or report no
+/// estimate.
+double AnalyticUnscaledStddev(const std::string& agg_name, double n,
+                              double variance);
+
+/// Builds a presentation estimate from a scaled stddev (normal CI).
+ErrorEstimate EstimateFromStddev(double value, double stddev);
+
+}  // namespace iolap
+
+#endif  // IOLAP_BOOTSTRAP_ERROR_ESTIMATE_H_

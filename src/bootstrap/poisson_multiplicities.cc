@@ -1,0 +1,13 @@
+#include "bootstrap/poisson_multiplicities.h"
+
+#include "common/random.h"
+
+namespace iolap {
+
+int BootstrapWeights::WeightAt(uint64_t uid, int trial) const {
+  return PoissonOneAt(seed_ ^ 0xb0075742u,
+                      uid * static_cast<uint64_t>(num_trials_) +
+                          static_cast<uint64_t>(trial));
+}
+
+}  // namespace iolap

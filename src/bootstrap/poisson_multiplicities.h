@@ -1,0 +1,37 @@
+#ifndef IOLAP_BOOTSTRAP_POISSON_MULTIPLICITIES_H_
+#define IOLAP_BOOTSTRAP_POISSON_MULTIPLICITIES_H_
+
+#include <cstdint>
+
+namespace iolap {
+
+/// Poissonized bootstrap multiplicities (§2, §7 step 2; Agarwal et al. [8]).
+///
+/// Each bootstrap trial re-weights every tuple of the streamed relation with
+/// an i.i.d. Poisson(1) multiplicity, which approximates resampling-with-
+/// replacement without materializing resamples. The weight of row `uid` in
+/// trial `t` is a pure function of (seed, uid, t): re-processing a tuple
+/// during a delta update or a failure recovery sees exactly the weights the
+/// first pass saw, which the correctness argument of Theorem 1 relies on.
+class BootstrapWeights {
+ public:
+  BootstrapWeights(uint64_t seed, int num_trials)
+      : seed_(seed), num_trials_(num_trials) {}
+
+  int num_trials() const { return num_trials_; }
+
+  /// Poisson(1) multiplicity of streamed row `uid` in trial `t`.
+  int WeightAt(uint64_t uid, int trial) const;
+
+  /// Approximate extra bytes the bootstrap multiplicity columns add to one
+  /// shuffled row (one byte per trial), for the data-shipped cost model.
+  uint64_t RowOverheadBytes() const { return static_cast<uint64_t>(num_trials_); }
+
+ private:
+  uint64_t seed_;
+  int num_trials_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_BOOTSTRAP_POISSON_MULTIPLICITIES_H_

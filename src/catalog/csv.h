@@ -1,0 +1,42 @@
+#ifndef IOLAP_CATALOG_CSV_H_
+#define IOLAP_CATALOG_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/table.h"
+
+namespace iolap {
+
+/// Options for reading delimited text into a Table.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names; otherwise columns are named c0, c1, ...
+  bool header = true;
+  /// Literal that reads as SQL NULL (in addition to the empty field).
+  std::string null_token = "NULL";
+  /// Rows sampled to infer column types (int64 ⊂ double ⊂ string).
+  size_t type_inference_rows = 100;
+};
+
+/// Parses CSV text into a Table, inferring column types from the leading
+/// rows: a column is INT64 if every sampled non-null field parses as an
+/// integer, DOUBLE if every field parses as a number, STRING otherwise.
+/// Quoted fields ("a ""quoted"" field, with comma") are supported.
+Result<Table> ReadCsv(const std::string& text, const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Serializes a table back to CSV (round-trips ReadCsv modulo type
+/// formatting).
+std::string WriteCsv(const Table& table, const CsvOptions& options = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace iolap
+
+#endif  // IOLAP_CATALOG_CSV_H_

@@ -1,0 +1,37 @@
+#ifndef IOLAP_COMMON_HASH_H_
+#define IOLAP_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace iolap {
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function.
+/// Used both for hash tables and to derive deterministic per-(row, trial)
+/// random streams for the poissonized bootstrap.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 64-bit hashes (order-sensitive).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// FNV-1a over bytes; adequate for string grouping/join keys at our scale.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return Mix64(h);
+}
+
+}  // namespace iolap
+
+#endif  // IOLAP_COMMON_HASH_H_

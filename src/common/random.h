@@ -1,0 +1,56 @@
+#ifndef IOLAP_COMMON_RANDOM_H_
+#define IOLAP_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace iolap {
+
+/// Deterministic xoshiro256**-based pseudo-random generator. Every use of
+/// randomness in the library (data generation, batch shuffling, bootstrap
+/// multiplicities) goes through this type so runs are reproducible from a
+/// single seed.
+class Rng {
+ public:
+  /// Seeds the four lanes from a single 64-bit seed via SplitMix64.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Exponential with rate `lambda`.
+  double NextExponential(double lambda);
+
+  /// Zipf-distributed integer in [0, n) with exponent `s` (s = 0 is
+  /// uniform). Uses the rejection-inversion method of Hörmann (adequate for
+  /// the skewed key distributions of the synthetic workloads).
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Poisson with small mean (Knuth's algorithm; used with mean 1 for the
+  /// poissonized bootstrap).
+  int NextPoisson(double mean);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Stateless Poisson(1) draw keyed by (stream, index). The poissonized
+/// bootstrap needs the multiplicity of row r in trial t to be a pure
+/// function of (r, t) so that re-processing a tuple (delta updates, failure
+/// recovery) sees the same multiplicities the first pass saw.
+int PoissonOneAt(uint64_t stream, uint64_t index);
+
+}  // namespace iolap
+
+#endif  // IOLAP_COMMON_RANDOM_H_

@@ -1,0 +1,151 @@
+#ifndef IOLAP_COMMON_STATUS_H_
+#define IOLAP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace iolap {
+
+/// Machine-readable category of a Status. Mirrors the Arrow/RocksDB
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kParseError,
+  kBindError,
+  kExecutionError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("InvalidArgument", ...) for a code.
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. The library does not throw across
+/// API boundaries; every fallible public entry point returns Status or
+/// Result<T>. OK statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so `return value;` and
+  /// `return Status::...;` both work inside functions returning Result<T>.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(storage_).ok() &&
+           "Result<T> must not be built from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(storage_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+// Propagates a non-OK Status from an expression to the caller.
+#define IOLAP_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::iolap::Status _iolap_status = (expr);          \
+    if (!_iolap_status.ok()) return _iolap_status;   \
+  } while (false)
+
+// Evaluates an expression returning Result<T>; on error propagates the
+// Status, otherwise assigns the value to `lhs`.
+#define IOLAP_ASSIGN_OR_RETURN(lhs, expr)             \
+  IOLAP_ASSIGN_OR_RETURN_IMPL_(                       \
+      IOLAP_CONCAT_(_iolap_result, __LINE__), lhs, expr)
+
+#define IOLAP_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                 \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value();
+
+#define IOLAP_CONCAT_(a, b) IOLAP_CONCAT_IMPL_(a, b)
+#define IOLAP_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace iolap
+
+#endif  // IOLAP_COMMON_STATUS_H_

@@ -1,0 +1,51 @@
+#ifndef IOLAP_COMMON_THREAD_POOL_H_
+#define IOLAP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace iolap {
+
+/// Fixed-size worker pool used for intra-batch parallelism (parallel scans
+/// and partial-aggregate merges). The pool is optional: with num_threads == 0
+/// tasks run inline on the caller, which keeps single-threaded runs fully
+/// deterministic and easy to debug.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; inline execution when the pool has no workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, count), partitioned across the pool, and waits.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_COMMON_THREAD_POOL_H_

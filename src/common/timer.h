@@ -1,0 +1,34 @@
+#ifndef IOLAP_COMMON_TIMER_H_
+#define IOLAP_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace iolap {
+
+/// Monotonic wall-clock timer for per-batch latency measurements.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_COMMON_TIMER_H_

@@ -1,0 +1,211 @@
+#include "core/aggregate.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace iolap {
+
+namespace {
+
+// ------------------------------------------------- COUNT / SUM / AVG
+
+// One (sum, count) pair serves all three linear aggregates.
+class SumCountAccumulator final : public AggAccumulator {
+ public:
+  explicit SumCountAccumulator(AggKind kind) : kind_(kind) {}
+
+  void Add(const Value& v, double weight) override {
+    if (v.is_null()) return;
+    count_ += weight;
+    sum_ += weight * v.AsDouble();
+  }
+
+  void Merge(const AggAccumulator& other) override {
+    const auto& o = static_cast<const SumCountAccumulator&>(other);
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
+  Value Result(double scale) const override {
+    switch (kind_) {
+      case AggKind::kCount:
+        return Value::Double(scale * count_);
+      case AggKind::kSum:
+        return count_ == 0.0 ? Value::Null() : Value::Double(scale * sum_);
+      default:  // kAvg
+        return count_ == 0.0 ? Value::Null() : Value::Double(sum_ / count_);
+    }
+  }
+
+  std::unique_ptr<AggAccumulator> Clone() const override {
+    return std::make_unique<SumCountAccumulator>(*this);
+  }
+
+  size_t ByteSize() const override { return 2 * sizeof(double); }
+
+ private:
+  AggKind kind_;
+  double sum_ = 0.0;
+  double count_ = 0.0;
+};
+
+// ----------------------------------------------------------- MIN / MAX
+
+class MinMaxAccumulator final : public AggAccumulator {
+ public:
+  explicit MinMaxAccumulator(bool is_min) : is_min_(is_min) {}
+
+  void Add(const Value& v, double weight) override {
+    if (v.is_null() || weight <= 0.0) return;
+    if (best_.is_null()) {
+      best_ = v;
+      return;
+    }
+    const int cmp = v.Compare(best_);
+    if ((is_min_ && cmp < 0) || (!is_min_ && cmp > 0)) best_ = v;
+  }
+
+  void Merge(const AggAccumulator& other) override {
+    const auto& o = static_cast<const MinMaxAccumulator&>(other);
+    Add(o.best_, 1.0);
+  }
+
+  Value Result(double) const override { return best_; }
+
+  std::unique_ptr<AggAccumulator> Clone() const override {
+    return std::make_unique<MinMaxAccumulator>(*this);
+  }
+
+  size_t ByteSize() const override { return sizeof(Value) + best_.ByteSize(); }
+
+ private:
+  bool is_min_;
+  Value best_;
+};
+
+// ------------------------------------------------------ VAR / STDDEV
+
+class MomentsAccumulator final : public AggAccumulator {
+ public:
+  explicit MomentsAccumulator(bool stddev) : stddev_(stddev) {}
+
+  void Add(const Value& v, double weight) override {
+    if (v.is_null()) return;
+    const double x = v.AsDouble();
+    w_ += weight;
+    wx_ += weight * x;
+    wxx_ += weight * x * x;
+  }
+
+  void Merge(const AggAccumulator& other) override {
+    const auto& o = static_cast<const MomentsAccumulator&>(other);
+    w_ += o.w_;
+    wx_ += o.wx_;
+    wxx_ += o.wxx_;
+  }
+
+  Value Result(double) const override {
+    if (w_ <= 0.0) return Value::Null();
+    const double mean = wx_ / w_;
+    double var = wxx_ / w_ - mean * mean;
+    if (var < 0.0) var = 0.0;  // numerical noise
+    return Value::Double(stddev_ ? std::sqrt(var) : var);
+  }
+
+  std::unique_ptr<AggAccumulator> Clone() const override {
+    return std::make_unique<MomentsAccumulator>(*this);
+  }
+
+  size_t ByteSize() const override { return 3 * sizeof(double); }
+
+ private:
+  bool stddev_;
+  double w_ = 0.0;
+  double wx_ = 0.0;
+  double wxx_ = 0.0;
+};
+
+// --------------------------------------------------- built-in factory
+
+class BuiltinAggFunction final : public AggFunction {
+ public:
+  explicit BuiltinAggFunction(AggKind kind) : kind_(kind) {}
+
+  std::string name() const override {
+    switch (kind_) {
+      case AggKind::kCount:
+        return "count";
+      case AggKind::kSum:
+        return "sum";
+      case AggKind::kAvg:
+        return "avg";
+      case AggKind::kMin:
+        return "min";
+      case AggKind::kMax:
+        return "max";
+      case AggKind::kVar:
+        return "var";
+      case AggKind::kStddev:
+        return "stddev";
+      default:
+        return "?";
+    }
+  }
+
+  ValueType ResultType(ValueType input) const override {
+    if (kind_ == AggKind::kMin || kind_ == AggKind::kMax) return input;
+    return ValueType::kDouble;
+  }
+
+  bool ScalesLinearly() const override {
+    return kind_ == AggKind::kCount || kind_ == AggKind::kSum;
+  }
+
+  bool SupportsSampling() const override {
+    // MIN/MAX are not Hadamard differentiable (§3.3).
+    return kind_ != AggKind::kMin && kind_ != AggKind::kMax;
+  }
+
+  std::unique_ptr<AggAccumulator> NewAccumulator() const override {
+    switch (kind_) {
+      case AggKind::kCount:
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        return std::make_unique<SumCountAccumulator>(kind_);
+      case AggKind::kMin:
+        return std::make_unique<MinMaxAccumulator>(/*is_min=*/true);
+      case AggKind::kMax:
+        return std::make_unique<MinMaxAccumulator>(/*is_min=*/false);
+      case AggKind::kVar:
+        return std::make_unique<MomentsAccumulator>(/*stddev=*/false);
+      case AggKind::kStddev:
+        return std::make_unique<MomentsAccumulator>(/*stddev=*/true);
+      default:
+        assert(false && "kUdaf has no built-in accumulator");
+        return nullptr;
+    }
+  }
+
+ private:
+  AggKind kind_;
+};
+
+}  // namespace
+
+std::shared_ptr<const AggFunction> MakeBuiltinAggFunction(AggKind kind) {
+  assert(kind != AggKind::kUdaf);
+  return std::make_shared<BuiltinAggFunction>(kind);
+}
+
+AggKind AggKindFromName(const std::string& name) {
+  if (name == "count") return AggKind::kCount;
+  if (name == "sum") return AggKind::kSum;
+  if (name == "avg") return AggKind::kAvg;
+  if (name == "min") return AggKind::kMin;
+  if (name == "max") return AggKind::kMax;
+  if (name == "var" || name == "variance") return AggKind::kVar;
+  if (name == "stddev" || name == "std") return AggKind::kStddev;
+  return AggKind::kUdaf;
+}
+
+}  // namespace iolap

@@ -1,0 +1,94 @@
+#ifndef IOLAP_CORE_AGGREGATE_H_
+#define IOLAP_CORE_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/value.h"
+
+namespace iolap {
+
+/// Built-in aggregate kinds. kUdaf marks user-defined aggregates resolved
+/// through the FunctionRegistry.
+enum class AggKind {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kVar,
+  kStddev,
+  kUdaf,
+};
+
+/// Incremental state of one aggregate over one group. Accumulators are the
+/// "sketch states" of the paper (§4.2): an AGGREGATE operator keeps one
+/// accumulator per group (plus one per bootstrap trial) instead of the
+/// input tuples, so its state is sub-linear in the data.
+///
+/// `weight` carries tuple multiplicity: 1 for a plainly seen tuple, the
+/// Poisson trial multiplicity in bootstrap trials, fractional values after
+/// multiplicity-scaling joins. NULL inputs are ignored (SQL semantics).
+class AggAccumulator {
+ public:
+  virtual ~AggAccumulator() = default;
+
+  /// Folds one input value with multiplicity `weight`.
+  virtual void Add(const Value& v, double weight) = 0;
+
+  /// Folds another accumulator of the same dynamic type (partial-aggregate
+  /// merge for parallel execution).
+  virtual void Merge(const AggAccumulator& other) = 0;
+
+  /// Current result, with tuple multiplicities scaled by `scale`
+  /// (= |D| / |D_i|, the paper's m_i). Scale affects magnitude aggregates
+  /// (COUNT, SUM) and cancels out of ratio aggregates (AVG, GEOMEAN, ...).
+  virtual Value Result(double scale) const = 0;
+
+  /// Deep copy, for per-batch state checkpoints (failure recovery, §5.1).
+  virtual std::unique_ptr<AggAccumulator> Clone() const = 0;
+
+  /// Approximate state footprint for the memory-utilization experiments.
+  virtual size_t ByteSize() const = 0;
+};
+
+/// Immutable descriptor + factory for an aggregate function. Shared between
+/// the plan (type checking) and the executor (accumulator creation).
+class AggFunction {
+ public:
+  virtual ~AggFunction() = default;
+
+  /// Lower-case SQL name ("sum", "geomean", ...).
+  virtual std::string name() const = 0;
+
+  /// Result type for a given input type.
+  virtual ValueType ResultType(ValueType input) const = 0;
+
+  /// How the result depends on the multiplicity scale m_i = |D|/|D_i|:
+  /// linear (SUM, COUNT: result ∝ scale) or invariant (ratio aggregates —
+  /// AVG, VAR, UDAF means: scale cancels). Every supported aggregate is
+  /// one of the two, which lets the engine store unscaled sketch results
+  /// and re-scale lazily instead of re-publishing untouched groups each
+  /// batch.
+  virtual bool ScalesLinearly() const { return false; }
+
+  /// Whether the aggregate is smooth (Hadamard differentiable) under
+  /// sampling, i.e., whether running results converge and bootstrap error
+  /// estimation applies (§3.3). MIN/MAX are not; the binder rejects them
+  /// over streamed relations.
+  virtual bool SupportsSampling() const = 0;
+
+  virtual std::unique_ptr<AggAccumulator> NewAccumulator() const = 0;
+};
+
+/// Built-in aggregate for `kind` (anything but kUdaf).
+std::shared_ptr<const AggFunction> MakeBuiltinAggFunction(AggKind kind);
+
+/// Maps a lower-case SQL aggregate name to a built-in kind; kUdaf if the
+/// name is not a built-in (the binder then consults the FunctionRegistry).
+AggKind AggKindFromName(const std::string& name);
+
+}  // namespace iolap
+
+#endif  // IOLAP_CORE_AGGREGATE_H_

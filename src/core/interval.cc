@@ -1,0 +1,71 @@
+#include "core/interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace iolap {
+
+std::string Interval::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%.6g, %.6g]", lo, hi);
+  return buf;
+}
+
+Interval IntervalAdd(const Interval& a, const Interval& b) {
+  return Interval(a.lo + b.lo, a.hi + b.hi);
+}
+
+Interval IntervalSub(const Interval& a, const Interval& b) {
+  return Interval(a.lo - b.hi, a.hi - b.lo);
+}
+
+namespace {
+
+// 0 * inf arises for unbounded operands; treat it as 0 so that
+// multiplying an unbounded interval by a point 0 stays bounded.
+double SafeMul(double a, double b) {
+  if (a == 0.0 || b == 0.0) return 0.0;
+  return a * b;
+}
+
+}  // namespace
+
+Interval IntervalMul(const Interval& a, const Interval& b) {
+  const double p1 = SafeMul(a.lo, b.lo);
+  const double p2 = SafeMul(a.lo, b.hi);
+  const double p3 = SafeMul(a.hi, b.lo);
+  const double p4 = SafeMul(a.hi, b.hi);
+  return Interval(std::min(std::min(p1, p2), std::min(p3, p4)),
+                  std::max(std::max(p1, p2), std::max(p3, p4)));
+}
+
+Interval IntervalDiv(const Interval& a, const Interval& b) {
+  if (b.Contains(0.0)) return Interval::Unbounded();
+  const Interval reciprocal(1.0 / b.hi, 1.0 / b.lo);
+  return IntervalMul(a, reciprocal);
+}
+
+Interval IntervalNeg(const Interval& a) { return Interval(-a.hi, -a.lo); }
+
+IntervalTruth IntervalLess(const Interval& a, const Interval& b) {
+  if (a.hi < b.lo) return IntervalTruth::kAlwaysTrue;
+  if (a.lo >= b.hi) return IntervalTruth::kAlwaysFalse;
+  return IntervalTruth::kUndecided;
+}
+
+IntervalTruth IntervalLessEq(const Interval& a, const Interval& b) {
+  if (a.hi <= b.lo) return IntervalTruth::kAlwaysTrue;
+  if (a.lo > b.hi) return IntervalTruth::kAlwaysFalse;
+  return IntervalTruth::kUndecided;
+}
+
+IntervalTruth IntervalEq(const Interval& a, const Interval& b) {
+  if (a.IsPoint() && b.IsPoint() && a.lo == b.lo) {
+    return IntervalTruth::kAlwaysTrue;
+  }
+  if (!a.Overlaps(b)) return IntervalTruth::kAlwaysFalse;
+  return IntervalTruth::kUndecided;
+}
+
+}  // namespace iolap

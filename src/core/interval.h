@@ -1,0 +1,94 @@
+#ifndef IOLAP_CORE_INTERVAL_H_
+#define IOLAP_CORE_INTERVAL_H_
+
+#include <limits>
+#include <string>
+
+namespace iolap {
+
+/// A closed numeric interval [lo, hi], used to represent the variation
+/// range R(u) of an uncertain value (paper §5.1) and to propagate ranges
+/// through arbitrary arithmetic expressions via interval arithmetic. The
+/// special Unbounded() interval is the conservative "could be anything"
+/// range (e.g., the result of a UDF over an uncertain input).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  Interval() = default;
+  Interval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {}
+
+  /// Degenerate interval containing a single point.
+  static Interval Point(double v) { return Interval(v, v); }
+
+  /// (-inf, +inf): the conservative range.
+  static Interval Unbounded() {
+    return Interval(-std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity());
+  }
+
+  bool IsPoint() const { return lo == hi; }
+  bool IsUnbounded() const {
+    return lo == -std::numeric_limits<double>::infinity() &&
+           hi == std::numeric_limits<double>::infinity();
+  }
+  bool Contains(double v) const { return lo <= v && v <= hi; }
+  bool ContainsInterval(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  bool Overlaps(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  double Width() const { return hi - lo; }
+
+  /// Intersection; caller must ensure Overlaps() (asserted by narrowing to
+  /// an empty-ish interval otherwise is avoided at call sites).
+  Interval Intersect(const Interval& other) const {
+    return Interval(lo > other.lo ? lo : other.lo,
+                    hi < other.hi ? hi : other.hi);
+  }
+
+  /// Smallest interval containing both.
+  Interval Union(const Interval& other) const {
+    return Interval(lo < other.lo ? lo : other.lo,
+                    hi > other.hi ? hi : other.hi);
+  }
+
+  std::string ToString() const;
+};
+
+// Interval arithmetic. All operations are conservative: the result interval
+// contains f(x, y) for all x in a, y in b.
+Interval IntervalAdd(const Interval& a, const Interval& b);
+Interval IntervalSub(const Interval& a, const Interval& b);
+Interval IntervalMul(const Interval& a, const Interval& b);
+/// Division; if b contains 0 the result is Unbounded().
+Interval IntervalDiv(const Interval& a, const Interval& b);
+Interval IntervalNeg(const Interval& a);
+
+/// Tri-state outcome of comparing two intervals: the comparison holds for
+/// every value pair, for none, or depends on the realized values.
+enum class IntervalTruth { kAlwaysTrue, kAlwaysFalse, kUndecided };
+
+/// Decides `a ϑ b` over intervals for ϑ in {<, <=, >, >=, ==, !=}.
+/// kUndecided corresponds to the paper's R(x) ∩ R(y) ≠ ∅ test (§5.1),
+/// refined per comparison direction.
+IntervalTruth IntervalLess(const Interval& a, const Interval& b);
+IntervalTruth IntervalLessEq(const Interval& a, const Interval& b);
+IntervalTruth IntervalEq(const Interval& a, const Interval& b);
+
+inline IntervalTruth Negate(IntervalTruth t) {
+  switch (t) {
+    case IntervalTruth::kAlwaysTrue:
+      return IntervalTruth::kAlwaysFalse;
+    case IntervalTruth::kAlwaysFalse:
+      return IntervalTruth::kAlwaysTrue;
+    default:
+      return IntervalTruth::kUndecided;
+  }
+}
+
+}  // namespace iolap
+
+#endif  // IOLAP_CORE_INTERVAL_H_

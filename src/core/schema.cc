@@ -1,0 +1,68 @@
+#include "core/schema.h"
+
+namespace iolap {
+
+namespace {
+
+// The unqualified suffix of a possibly qualified column name.
+std::string_view Unqualified(const std::string& name) {
+  const size_t dot = name.rfind('.');
+  if (dot == std::string::npos) return name;
+  return std::string_view(name).substr(dot + 1);
+}
+
+}  // namespace
+
+Result<int> Schema::FindColumn(const std::string& name) const {
+  // Pass 1: exact (qualified) match.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  // Pass 2: suffix match — only for unqualified requests. A qualified
+  // request ("l.partkey") must not resolve to a column of another
+  // qualifier ("l2.partkey"); correlated-subquery detection depends on
+  // such lookups failing locally.
+  if (name.find('.') != std::string::npos) {
+    return Status::NotFound("column not found: " + name);
+  }
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (Unqualified(columns_[i].name) == Unqualified(name)) {
+      if (found >= 0) {
+        return Status::InvalidArgument("ambiguous column reference: " + name);
+      }
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) return Status::NotFound("column not found: " + name);
+  return found;
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  for (const auto& col : columns_) {
+    if (col.name == name || Unqualified(col.name) == Unqualified(name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> merged = columns_;
+  merged.insert(merged.end(), other.columns_.begin(), other.columns_.end());
+  return Schema(std::move(merged));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace iolap

@@ -1,0 +1,25 @@
+#include "core/table.h"
+
+namespace iolap {
+
+size_t Table::ByteSize() const {
+  size_t total = 0;
+  for (const Row& row : rows_) total += RowByteSize(row);
+  return total;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString();
+  out += "\n";
+  const size_t limit = rows_.size() < max_rows ? rows_.size() : max_rows;
+  for (size_t i = 0; i < limit; ++i) {
+    out += RowToString(rows_[i]);
+    out += "\n";
+  }
+  if (rows_.size() > limit) {
+    out += "... (" + std::to_string(rows_.size() - limit) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace iolap

@@ -1,0 +1,26 @@
+#include "exec/batch.h"
+
+#include <cassert>
+
+namespace iolap {
+
+ExecRow ConcatRows(const ExecRow& left, const ExecRow& right) {
+  ExecRow out;
+  out.values.reserve(left.values.size() + right.values.size());
+  out.values.insert(out.values.end(), left.values.begin(), left.values.end());
+  out.values.insert(out.values.end(), right.values.begin(),
+                    right.values.end());
+  out.weight = left.weight * right.weight;
+  assert(!(left.FromStream() && right.FromStream()) &&
+         "at most one relation may be streamed");
+  out.stream_uid = left.FromStream() ? left.stream_uid : right.stream_uid;
+  return out;
+}
+
+size_t BatchByteSize(const RowBatch& batch) {
+  size_t total = 0;
+  for (const ExecRow& row : batch) total += row.ByteSize();
+  return total;
+}
+
+}  // namespace iolap

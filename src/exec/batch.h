@@ -1,0 +1,41 @@
+#ifndef IOLAP_EXEC_BATCH_H_
+#define IOLAP_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/value.h"
+
+namespace iolap {
+
+/// A tuple flowing through the delta engine. Besides its values it carries:
+///  - `weight`: its multiplicity within the accumulated sample D_i (before
+///    the |D|/|D_i| scaling that aggregates apply at result time);
+///  - `stream_uid`: the id of the streamed base row it derives from, or
+///    kNoStream. The poissonized bootstrap derives the row's per-trial
+///    multiplicities from this id, so re-processing a tuple (delta update,
+///    failure recovery) reproduces the same resamples.
+struct ExecRow {
+  static constexpr uint64_t kNoStream = std::numeric_limits<uint64_t>::max();
+
+  Row values;
+  double weight = 1.0;
+  uint64_t stream_uid = kNoStream;
+
+  bool FromStream() const { return stream_uid != kNoStream; }
+
+  size_t ByteSize() const { return RowByteSize(values) + 17; }
+};
+
+using RowBatch = std::vector<ExecRow>;
+
+/// Concatenates two rows (join output); at most one side may carry a
+/// stream uid (the engine streams a single relation, §2).
+ExecRow ConcatRows(const ExecRow& left, const ExecRow& right);
+
+size_t BatchByteSize(const RowBatch& batch);
+
+}  // namespace iolap
+
+#endif  // IOLAP_EXEC_BATCH_H_

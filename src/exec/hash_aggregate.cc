@@ -1,0 +1,61 @@
+#include "exec/hash_aggregate.h"
+
+namespace iolap {
+
+GroupedAggregateState::GroupCells& GroupedAggregateState::GetOrCreate(
+    const Row& key, int batch, bool* created) {
+  auto [it, inserted] = groups_.try_emplace(key);
+  if (inserted) {
+    it->second.first_batch = batch;
+    it->second.aggs.reserve(specs_->size());
+    for (const AggSpec& spec : *specs_) {
+      it->second.aggs.emplace_back(*spec.fn, num_trials_);
+    }
+  }
+  if (created != nullptr) *created = inserted;
+  return it->second;
+}
+
+const GroupedAggregateState::GroupCells* GroupedAggregateState::Find(
+    const Row& key) const {
+  auto it = groups_.find(key);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+GroupedAggregateState GroupedAggregateState::Clone() const {
+  GroupedAggregateState copy(specs_, num_trials_);
+  copy.groups_.reserve(groups_.size());
+  for (const auto& [key, cells] : groups_) {
+    GroupCells cloned;
+    cloned.first_batch = cells.first_batch;
+    cloned.aggs.reserve(cells.aggs.size());
+    for (const TrialAccumulatorSet& acc : cells.aggs) {
+      cloned.aggs.push_back(acc.Clone());
+    }
+    copy.groups_.emplace(key, std::move(cloned));
+  }
+  return copy;
+}
+
+void GroupedAggregateState::DropGroupsAfter(int batch) {
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    if (it->second.first_batch > batch) {
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t GroupedAggregateState::ByteSize() const {
+  size_t total = 0;
+  for (const auto& [key, cells] : groups_) {
+    total += RowByteSize(key) + sizeof(int);
+    for (const TrialAccumulatorSet& acc : cells.aggs) {
+      total += acc.ByteSize();
+    }
+  }
+  return total;
+}
+
+}  // namespace iolap

@@ -1,0 +1,67 @@
+#ifndef IOLAP_EXEC_HASH_AGGREGATE_H_
+#define IOLAP_EXEC_HASH_AGGREGATE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "bootstrap/trial_accumulator.h"
+#include "core/value.h"
+#include "plan/logical_plan.h"
+
+namespace iolap {
+
+/// The hash-grouped sketch state of an AGGREGATE operator (§4.2): one
+/// TrialAccumulatorSet per (group, aggregate). Two instances exist per
+/// aggregate block in the delta engine — the persistent sketch fed only by
+/// near-deterministic tuples, and a per-batch scratch instance holding the
+/// revocable contribution of the non-deterministic set.
+class GroupedAggregateState {
+ public:
+  struct GroupCells {
+    std::vector<TrialAccumulatorSet> aggs;
+    /// Batch in which the group first appeared (for failure-recovery
+    /// rollbacks and registry bookkeeping).
+    int first_batch = 0;
+    /// Batch in which the group last received a contribution. Publication
+    /// re-materializes trial replicas only for touched groups.
+    int last_touched = -1;
+  };
+
+  using GroupMap = std::unordered_map<Row, GroupCells, RowHash, RowEq>;
+
+  /// Default instance usable only as an assignment target (checkpoints).
+  GroupedAggregateState() = default;
+
+  GroupedAggregateState(const std::vector<AggSpec>* specs, int num_trials)
+      : specs_(specs), num_trials_(num_trials) {}
+
+  /// Returns (creating if needed) the cells for `key`. `created` (optional)
+  /// reports whether the group is new.
+  GroupCells& GetOrCreate(const Row& key, int batch, bool* created = nullptr);
+
+  const GroupCells* Find(const Row& key) const;
+
+  const GroupMap& groups() const { return groups_; }
+  size_t num_groups() const { return groups_.size(); }
+
+  void Clear() { groups_.clear(); }
+
+  /// Deep copy, for per-batch checkpoints.
+  GroupedAggregateState Clone() const;
+
+  /// Drops groups created after `batch` (rollback). Accumulator contents of
+  /// surviving groups are NOT rewound here; rollback restores them from a
+  /// checkpoint clone instead.
+  void DropGroupsAfter(int batch);
+
+  size_t ByteSize() const;
+
+ private:
+  const std::vector<AggSpec>* specs_ = nullptr;
+  int num_trials_ = 0;
+  GroupMap groups_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_EXEC_HASH_AGGREGATE_H_

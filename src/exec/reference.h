@@ -1,0 +1,30 @@
+#ifndef IOLAP_EXEC_REFERENCE_H_
+#define IOLAP_EXEC_REFERENCE_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+
+namespace iolap {
+
+/// Direct, non-incremental evaluation of a plan: the ground truth
+/// Q(D_i, m_i) that Theorem 1 says every iOLAP partial result must equal.
+///
+/// This is a deliberately independent implementation — nested-loop-ish
+/// hash joins over fully materialized inputs, no delta states, no
+/// bootstrap, no classification — used as the oracle in differential tests
+/// and as the semantic specification of the engine.
+///
+/// `streamed_rows` supplies the accumulated sample D_i of the plan's
+/// streamed relation (ignored when the plan streams nothing) and `scale`
+/// the multiplicity m_i = |D| / |D_i|. Rows of non-streamed relations come
+/// from the catalog. The result is sorted by leading columns, matching the
+/// controller's presentation order.
+Result<Table> EvaluateReference(const QueryPlan& plan, const Catalog& catalog,
+                                const std::vector<Row>& streamed_rows,
+                                double scale);
+
+}  // namespace iolap
+
+#endif  // IOLAP_EXEC_REFERENCE_H_

@@ -1,0 +1,276 @@
+#include "iolap/aggregate_registry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace iolap {
+
+AggregateRegistry::AggregateRegistry(const QueryPlan* plan, double slack)
+    : slack_(slack) {
+  relations_.resize(plan->blocks.size());
+  for (size_t b = 0; b < plan->blocks.size(); ++b) {
+    const Block& block = plan->blocks[b];
+    relations_[b].num_keys = static_cast<int>(block.group_by.size());
+    relations_[b].linear.reserve(block.aggs.size());
+    for (const AggSpec& agg : block.aggs) {
+      relations_[b].linear.push_back(agg.fn->ScalesLinearly());
+    }
+  }
+}
+
+void AggregateRegistry::SetBlockScale(int block, double scale) {
+  relations_[block].scale = scale;
+}
+
+void AggregateRegistry::CheckRanges(Relation& rel, const Row& key,
+                                    Entry& entry, PublishResult* result) {
+  for (size_t a = 0; a < entry.ranges.size(); ++a) {
+    const double s = ColScale(rel, a);
+    const double v =
+        (entry.main[a].is_null() ? 0.0 : entry.main[a].AsDouble()) * s;
+    // The replica envelope is linear in the scale (s > 0 always).
+    const auto update = entry.ranges[a].UpdateEnvelope(
+        v, entry.env_lo[a] * s, entry.env_hi[a] * s, entry.env_sd[a] * s);
+    if (!update.ok) {
+      // The failure invalidates pruning decisions that constrained this
+      // value: request recovery. A value that keeps betraying its
+      // obligations stops being classified on entirely.
+      if (++rel.failure_counts[key] >= 3) entry.range_disabled = true;
+      result->ok = false;
+      // Convert the tracker's local history index to a global batch.
+      const int global = update.last_consistent_batch < 0
+                             ? entry.first_batch - 1
+                             : entry.first_batch + update.last_consistent_batch;
+      const int target = global < 0 ? -1 : global;
+      if (result->rollback_to == -1 || target < result->rollback_to) {
+        result->rollback_to = target;
+      }
+      if (target < 0) result->rollback_to = -1;
+    }
+  }
+}
+
+AggregateRegistry::PublishResult AggregateRegistry::Publish(
+    int block, const Row& key, int batch, std::vector<Value> main,
+    std::vector<std::vector<double>> trials, bool track_ranges,
+    const std::vector<double>* analytic_sd) {
+  Relation& rel = relations_[block];
+  auto [it, inserted] = rel.entries.try_emplace(key);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.first_batch = batch;
+    if (track_ranges) {
+      entry.ranges.assign(main.size(), VariationRangeTracker(slack_));
+    }
+    auto fc = rel.failure_counts.find(key);
+    if (fc != rel.failure_counts.end() && fc->second >= 3) {
+      entry.range_disabled = true;
+    }
+  }
+  entry.main = std::move(main);
+  entry.trials = std::move(trials);
+  // Unscaled replica envelopes for later Refresh()es.
+  const size_t num_aggs = entry.main.size();
+  entry.env_lo.assign(num_aggs, 0.0);
+  entry.env_hi.assign(num_aggs, 0.0);
+  entry.env_sd.assign(num_aggs, 0.0);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    const double v = entry.main[a].is_null() ? 0.0 : entry.main[a].AsDouble();
+    if (analytic_sd != nullptr) {
+      // Closed-form envelope: ±2σ around the estimate (σ < 0 = no closed
+      // form: degenerate point envelope, i.e. conservative elsewhere).
+      const double sd = std::max(0.0, (*analytic_sd)[a]);
+      entry.env_lo[a] = v - 2.0 * sd;
+      entry.env_hi[a] = v + 2.0 * sd;
+      entry.env_sd[a] = sd;
+      continue;
+    }
+    double lo = v;
+    double hi = v;
+    double sum = 0.0;
+    const auto& t = entry.trials[a];
+    for (double x : t) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+      sum += x;
+    }
+    double sd = 0.0;
+    if (t.size() > 1) {
+      const double mean = sum / t.size();
+      double ss = 0.0;
+      for (double x : t) ss += (x - mean) * (x - mean);
+      sd = std::sqrt(ss / (t.size() - 1));
+    }
+    entry.env_lo[a] = lo;
+    entry.env_hi[a] = hi;
+    entry.env_sd[a] = sd;
+  }
+  PublishResult result;
+  if (track_ranges && !entry.range_disabled) {
+    CheckRanges(rel, key, entry, &result);
+  }
+  return result;
+}
+
+AggregateRegistry::PublishResult AggregateRegistry::Refresh(
+    int block, const Row& key, int /*batch*/, bool track_ranges) {
+  Relation& rel = relations_[block];
+  auto it = rel.entries.find(key);
+  PublishResult result;
+  if (it == rel.entries.end()) {
+    result.missing = true;
+    return result;
+  }
+  Entry& entry = it->second;
+  if (track_ranges && !entry.range_disabled) {
+    CheckRanges(rel, key, entry, &result);
+  }
+  return result;
+}
+
+VariationRangeTracker* AggregateRegistry::TrackerFor(int block, int col,
+                                                     const Row& key) {
+  Relation& rel = relations_[block];
+  if (col < rel.num_keys) return nullptr;  // key columns are deterministic
+  auto it = rel.entries.find(key);
+  if (it == rel.entries.end() || it->second.range_disabled) return nullptr;
+  const size_t a = static_cast<size_t>(col - rel.num_keys);
+  if (a >= it->second.ranges.size()) return nullptr;
+  return &it->second.ranges[a];
+}
+
+void AggregateRegistry::RequireUpper(int block, int col, const Row& key,
+                                     double bound) {
+  if (VariationRangeTracker* tracker = TrackerFor(block, col, key)) {
+    tracker->ConstrainUpper(bound);
+  }
+}
+
+void AggregateRegistry::RequireLower(int block, int col, const Row& key,
+                                     double bound) {
+  if (VariationRangeTracker* tracker = TrackerFor(block, col, key)) {
+    tracker->ConstrainLower(bound);
+  }
+}
+
+void AggregateRegistry::RequireContainment(int block, int col,
+                                           const Row& key) {
+  if (VariationRangeTracker* tracker = TrackerFor(block, col, key)) {
+    const Interval range = tracker->current();
+    tracker->ConstrainLower(range.lo);
+    tracker->ConstrainUpper(range.hi);
+  }
+}
+
+void AggregateRegistry::RollbackTo(int batch, int freeze_updates) {
+  for (Relation& rel : relations_) {
+    rel.memo_entry = nullptr;
+    for (auto it = rel.entries.begin(); it != rel.entries.end();) {
+      Entry& entry = it->second;
+      if (entry.first_batch > batch) {
+        it = rel.entries.erase(it);
+        continue;
+      }
+      for (VariationRangeTracker& tracker : entry.ranges) {
+        tracker.RecoverTo(batch - entry.first_batch, freeze_updates);
+      }
+      ++it;
+    }
+  }
+}
+
+size_t AggregateRegistry::GroupCount(int block) const {
+  return relations_[block].entries.size();
+}
+
+size_t AggregateRegistry::RelationBytes(int block) const {
+  const Relation& rel = relations_[block];
+  size_t total = 0;
+  for (const auto& [key, entry] : rel.entries) {
+    total += RowByteSize(key);
+    for (const Value& v : entry.main) total += v.ByteSize();
+    for (const auto& trials : entry.trials) {
+      total += trials.size() * sizeof(double);
+    }
+  }
+  return total;
+}
+
+size_t AggregateRegistry::TotalBytes() const {
+  size_t total = 0;
+  for (size_t b = 0; b < relations_.size(); ++b) {
+    total += RelationBytes(static_cast<int>(b));
+    for (const auto& [key, entry] : relations_[b].entries) {
+      for (const auto& tracker : entry.ranges) total += tracker.ByteSize();
+    }
+  }
+  return total;
+}
+
+const AggregateRegistry::Entry* AggregateRegistry::FindEntry(
+    int block, const Row& key) const {
+  const Relation& rel = relations_[block];
+  if (rel.memo_entry != nullptr && RowEq()(rel.memo_key, key)) {
+    return rel.memo_entry;
+  }
+  auto it = rel.entries.find(key);
+  if (it == rel.entries.end()) return nullptr;
+  rel.memo_key = key;
+  rel.memo_entry = &it->second;
+  return rel.memo_entry;
+}
+
+Value AggregateRegistry::Lookup(int block, int col, const Row& key) const {
+  const Relation& rel = relations_[block];
+  if (col < rel.num_keys) {
+    return col < static_cast<int>(key.size()) ? key[col] : Value::Null();
+  }
+  const Entry* entry = FindEntry(block, key);
+  if (entry == nullptr) return Value::Null();
+  const size_t a = static_cast<size_t>(col - rel.num_keys);
+  if (a >= entry->main.size() || entry->main[a].is_null()) {
+    return Value::Null();
+  }
+  const double s = ColScale(rel, a);
+  return s == 1.0 ? entry->main[a]
+                  : Value::Double(entry->main[a].AsDouble() * s);
+}
+
+Value AggregateRegistry::LookupTrial(int block, int col, const Row& key,
+                                     int trial) const {
+  const Relation& rel = relations_[block];
+  if (col < rel.num_keys) {
+    return col < static_cast<int>(key.size()) ? key[col] : Value::Null();
+  }
+  const Entry* entry = FindEntry(block, key);
+  if (entry == nullptr) return Value::Null();
+  const size_t a = static_cast<size_t>(col - rel.num_keys);
+  if (a >= entry->trials.size() ||
+      static_cast<size_t>(trial) >= entry->trials[a].size()) {
+    return Lookup(block, col, key);
+  }
+  return Value::Double(entry->trials[a][trial] * ColScale(rel, a));
+}
+
+Interval AggregateRegistry::LookupRange(int block, int col,
+                                        const Row& key) const {
+  const Relation& rel = relations_[block];
+  if (col < rel.num_keys) {
+    if (col < static_cast<int>(key.size()) && key[col].is_numeric()) {
+      return Interval::Point(key[col].AsDouble());
+    }
+    return Interval::Unbounded();
+  }
+  const Entry* entry = FindEntry(block, key);
+  if (entry == nullptr || entry->range_disabled) return Interval::Unbounded();
+  const size_t a = static_cast<size_t>(col - rel.num_keys);
+  if (a >= entry->ranges.size()) {
+    // Untracked blocks never feed classification; stay conservative if a
+    // range is ever requested anyway.
+    return Interval::Unbounded();
+  }
+  return entry->ranges[a].current();
+}
+
+}  // namespace iolap

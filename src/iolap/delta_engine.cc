@@ -1,0 +1,581 @@
+#include "iolap/delta_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace iolap {
+
+namespace {
+
+// True if input `k` of `block` can deliver new rows after batch 0.
+bool InputGrows(const QueryPlan& /*plan*/,
+                const std::vector<BlockAnnotations>& annotations,
+                const Block& block, size_t k) {
+  const BlockInput& input = block.inputs[k];
+  if (input.kind == BlockInput::Kind::kBaseTable) return input.streamed;
+  return annotations[input.source_block].dynamic;
+}
+
+}  // namespace
+
+BlockExecutor::BlockExecutor(const QueryPlan* plan, int block_id,
+                             const std::vector<BlockAnnotations>* annotations,
+                             const EngineOptions* options,
+                             AggregateRegistry* registry,
+                             BootstrapWeights bootstrap,
+                             bool consumed_downstream, bool feeds_join)
+    : plan_(plan),
+      block_(&plan->blocks[block_id]),
+      ann_(&(*annotations)[block_id]),
+      options_(options),
+      registry_(registry),
+      bootstrap_(bootstrap),
+      consumed_downstream_(consumed_downstream),
+      feeds_join_(feeds_join),
+      sketch_(&block_->aggs, options->num_trials) {
+  for (bool uncertain : ann_->agg_arg_uncertain) {
+    any_agg_arg_uncertain_ = any_agg_arg_uncertain_ || uncertain;
+  }
+  stateless_ = block_->inputs.size() == 1 &&
+               block_->inputs[0].kind == BlockInput::Kind::kBlockOutput;
+  for (size_t k = 1; k < block_->inputs.size(); ++k) {
+    bool prefix_grows = false;
+    for (size_t j = 0; j < k; ++j) {
+      prefix_grows = prefix_grows || InputGrows(*plan, *annotations, *block_, j);
+    }
+    join_steps_.emplace_back(block_->inputs[k].prefix_key_cols,
+                             block_->inputs[k].input_key_cols,
+                             InputGrows(*plan, *annotations, *block_, k),
+                             prefix_grows);
+  }
+}
+
+EvalContext BlockExecutor::MainContext() const {
+  EvalContext ctx;
+  ctx.functions = plan_->functions.get();
+  ctx.resolver = registry_;
+  ctx.column_lineage = &ann_->spj_lineage;
+  ctx.trial = -1;
+  return ctx;
+}
+
+RowBatch BlockExecutor::JoinDeltas(const std::vector<RowBatch>& input_deltas) {
+  assert(input_deltas.size() == block_->inputs.size());
+  RowBatch current = input_deltas[0];
+  for (size_t k = 1; k < block_->inputs.size(); ++k) {
+    RowBatch next;
+    join_steps_[k - 1].ProcessBatch(current, input_deltas[k], &next);
+    current = std::move(next);
+  }
+  return current;
+}
+
+void BlockExecutor::RefreshRow(ExecRow* row, bool charge_regeneration) const {
+  if (charge_regeneration && !lazy_enabled()) {
+    // Without lineage-based lazy evaluation, bringing a saved tuple up to
+    // date means re-deriving it from its sources: re-probing every join it
+    // passed through and rebuilding the tuple (§4.3 "generating a new tuple
+    // requires going through the entire plan").
+    for (const JoinStep& step : join_steps_) {
+      Row key;
+      key.reserve(step.prefix_key_cols().size());
+      for (int c : step.prefix_key_cols()) key.push_back(row->values[c]);
+      volatile size_t probed = step.ProbeCount(key);
+      (void)probed;
+    }
+    ExecRow rebuilt = *row;  // rematerialization
+    *row = std::move(rebuilt);
+  }
+  if (!ann_->spj_attr_uncertain.empty()) {
+    const EvalContext ctx = MainContext();
+    for (size_t c = 0; c < ann_->spj_lineage.size(); ++c) {
+      const ExprPtr& lineage = ann_->spj_lineage[c];
+      if (lineage != nullptr) {
+        row->values[c] = lineage->Eval(row->values, ctx);
+      }
+    }
+  }
+}
+
+IntervalTruth BlockExecutor::Classify(const ExecRow& row) const {
+  if (block_->filter == nullptr) return IntervalTruth::kAlwaysTrue;
+  EvalContext ctx = MainContext();
+  if (classification_enabled()) {
+    // Persistent (non-stateless) blocks act on decided outcomes across
+    // batches, so every decided comparison must register the bounds that
+    // keep it valid (the constraints the §5.1 integrity check enforces).
+    // Stateless consumers re-decide everything next batch and impose no
+    // obligations.
+    if (!stateless_) ctx.constraint_sink = registry_;
+    return ClassifyPredicate(*block_->filter, row.values, ctx);
+  }
+  // Conservative §4.1 tagging (also the HDA behaviour): any tuple whose
+  // filter reads uncertain values is non-deterministic; purely
+  // deterministic filters evaluate normally.
+  if (!ann_->filter_uncertain) {
+    return block_->filter->Eval(row.values, ctx).IsTruthy()
+               ? IntervalTruth::kAlwaysTrue
+               : IntervalTruth::kAlwaysFalse;
+  }
+  return IntervalTruth::kUndecided;
+}
+
+Row BlockExecutor::GroupKeyOf(const ExecRow& row) const {
+  const EvalContext ctx = MainContext();
+  Row key;
+  key.reserve(block_->group_by.size());
+  for (const ExprPtr& g : block_->group_by) {
+    key.push_back(g->Eval(row.values, ctx));
+  }
+  return key;
+}
+
+std::vector<double> BlockExecutor::DisplayAnalyticSd(
+    const std::vector<double>& unscaled, double effective_scale) const {
+  const double fpc =
+      effective_scale > 1.0 ? std::sqrt(1.0 - 1.0 / effective_scale) : 0.0;
+  std::vector<double> out;
+  out.reserve(unscaled.size());
+  for (size_t a = 0; a < unscaled.size(); ++a) {
+    if (unscaled[a] < 0.0) {
+      out.push_back(-1.0);  // no closed form
+      continue;
+    }
+    const double s =
+        block_->aggs[a].fn->ScalesLinearly() ? effective_scale : 1.0;
+    out.push_back(unscaled[a] * s * fpc);
+  }
+  return out;
+}
+
+const int* BlockExecutor::TrialWeightsFor(const ExecRow& row) const {
+  const int trials = bootstrap_.num_trials();
+  if (!row.FromStream() || trials == 0) return nullptr;
+  trial_weight_scratch_.resize(trials);
+  for (int t = 0; t < trials; ++t) {
+    trial_weight_scratch_[t] = bootstrap_.WeightAt(row.stream_uid, t);
+  }
+  return trial_weight_scratch_.data();
+}
+
+void BlockExecutor::AccumulateCertain(const ExecRow& row, int batch,
+                                      GroupedAggregateState* target) {
+  const EvalContext ctx = MainContext();
+  GroupedAggregateState::GroupCells& cells =
+      target->GetOrCreate(GroupKeyOf(row), batch);
+  cells.last_touched = batch;
+  const int* trial_weights = TrialWeightsFor(row);
+  for (size_t a = 0; a < block_->aggs.size(); ++a) {
+    const Value v = block_->aggs[a].arg->Eval(row.values, ctx);
+    cells.aggs[a].Add(v, row.weight, trial_weights);
+  }
+}
+
+void BlockExecutor::AccumulatePending(const ExecRow& row, int batch,
+                                      GroupedAggregateState* temp) {
+  EvalContext ctx = MainContext();
+  const bool main_pass =
+      block_->filter == nullptr ||
+      block_->filter->Eval(row.values, ctx).IsTruthy();
+  if (!block_->has_aggregate()) {
+    if (main_pass) pending_passing_.push_back(row);
+    return;
+  }
+  GroupedAggregateState::GroupCells* cells = nullptr;
+  const Row key = GroupKeyOf(row);
+  if (main_pass) {
+    cells = &temp->GetOrCreate(key, batch);
+    for (size_t a = 0; a < block_->aggs.size(); ++a) {
+      const Value v = block_->aggs[a].arg->Eval(row.values, ctx);
+      cells->aggs[a].AddMainOnly(v, row.weight);
+    }
+  }
+  // Per-trial membership: the decision the filter takes under each
+  // bootstrap resample, using the trial replicas of the aggregates it
+  // reads. This is what makes the error estimate honest for tuples whose
+  // membership is itself uncertain.
+  const int* trial_weights = TrialWeightsFor(row);
+  for (int t = 0; t < bootstrap_.num_trials(); ++t) {
+    const double w =
+        row.weight * (trial_weights != nullptr ? trial_weights[t] : 1);
+    if (w == 0.0) continue;
+    ctx.trial = t;
+    if (block_->filter != nullptr &&
+        !block_->filter->Eval(row.values, ctx).IsTruthy()) {
+      continue;
+    }
+    if (cells == nullptr) {
+      // Trial-only pass: contribute only when the group's existence is
+      // already established by a main-evaluation contribution (sketch or
+      // another pending row). A group passing only in resamples must not
+      // materialize in the output — Q(D_i) is defined by the main
+      // evaluation (ghost groups would violate Theorem 1); its trial
+      // replicas are folded only where the group exists.
+      if (sketch_.Find(key) == nullptr && temp->Find(key) == nullptr) {
+        continue;
+      }
+      cells = &temp->GetOrCreate(key, batch);
+    }
+    for (size_t a = 0; a < block_->aggs.size(); ++a) {
+      const Value v = block_->aggs[a].arg->Eval(row.values, ctx);
+      cells->aggs[a].AddTrialOnly(t, v, w);
+    }
+  }
+}
+
+void BlockExecutor::RouteRow(ExecRow row, IntervalTruth truth, int batch,
+                             GroupedAggregateState* temp,
+                             RowBatch* /*pending_passing*/,
+                             std::vector<ExecRow>* new_pending) {
+  if (truth == IntervalTruth::kAlwaysFalse) return;
+  if (truth == IntervalTruth::kAlwaysTrue &&
+      !(block_->has_aggregate() && any_agg_arg_uncertain_)) {
+    if (block_->has_aggregate()) {
+      AccumulateCertain(row, batch, &sketch_);
+    } else {
+      sink_rows_.push_back(std::move(row));
+    }
+    return;
+  }
+  // Non-deterministic (or permanently unsketchable): contributes revocably
+  // this batch and is saved for re-evaluation in the next one.
+  AccumulatePending(row, batch, temp);
+  new_pending->push_back(std::move(row));
+}
+
+int BlockExecutor::ProcessBatch(int batch, double scale,
+                                const std::vector<RowBatch>& input_deltas,
+                                BlockBatchStats* stats) {
+  if (stateless_) {
+    // Snapshot consumer: the controller passes the upstream's full output
+    // relation; re-evaluate it from scratch (it is small — aggregate
+    // results) and keep no cross-batch state.
+    sketch_.Clear();
+    sink_rows_.clear();
+    pending_.clear();
+    emitted_order_.clear();
+    emitted_set_.clear();
+    stats->recomputed_rows += input_deltas[0].size();
+  } else {
+    for (const RowBatch& delta : input_deltas) {
+      stats->input_rows += delta.size();
+    }
+  }
+
+  RowBatch fresh = JoinDeltas(input_deltas);
+  stats->shipped_bytes += BatchByteSize(fresh);
+  for (const ExecRow& row : fresh) {
+    if (row.FromStream()) stats->shipped_bytes += bootstrap_.RowOverheadBytes();
+  }
+
+  GroupedAggregateState temp(&block_->aggs, options_->num_trials);
+  pending_passing_.clear();
+  new_output_rows_.clear();
+  std::vector<ExecRow> new_pending;
+
+  for (ExecRow& row : fresh) {
+    RefreshRow(&row, /*charge_regeneration=*/false);
+    const IntervalTruth truth = Classify(row);
+    RouteRow(std::move(row), truth, batch, &temp, &pending_passing_,
+             &new_pending);
+  }
+
+  // Re-evaluate the saved non-deterministic set (§5.1: delta update based
+  // on U_{i-1} and ΔD_i).
+  stats->recomputed_rows += pending_.size();
+  if (!lazy_enabled()) {
+    // Without OPT2 the saved tuples are re-shipped / re-derived.
+    stats->shipped_bytes += BatchByteSize(pending_);
+  }
+  for (ExecRow& row : pending_) {
+    RefreshRow(&row, /*charge_regeneration=*/true);
+    const IntervalTruth truth = Classify(row);
+    RouteRow(std::move(row), truth, batch, &temp, &pending_passing_,
+             &new_pending);
+  }
+  pending_ = std::move(new_pending);
+
+  return PublishOutput(batch, scale, temp, stats);
+}
+
+int BlockExecutor::PublishOutput(int batch, double scale,
+                                 const GroupedAggregateState& temp,
+                                 BlockBatchStats* stats) {
+  if (!block_->has_aggregate()) return kNoRollback;
+
+  // Aggregates directly over the streamed relation scale their magnitude
+  // results by m_i (§2 query semantics); aggregates over the outputs of
+  // other blocks see already-scaled estimates on a per-seen-group basis.
+  bool scans_stream = false;
+  for (const BlockInput& input : block_->inputs) {
+    scans_stream = scans_stream || (input.kind == BlockInput::Kind::kBaseTable &&
+                                    input.streamed);
+  }
+  const double effective_scale = scans_stream ? scale : 1.0;
+  registry_->SetBlockScale(block_->id, effective_scale);
+
+  // Ranges are maintained only when classification consumes them; under
+  // HDA / conservative tagging (and after a recovery-storm fallback) every
+  // suspect tuple is re-evaluated each batch anyway, so integrity failures
+  // would be pure overhead.
+  const bool track = consumed_downstream_ && classification_enabled();
+
+  int rollback = kNoRollback;
+  latest_output_.clear();
+  std::unordered_set<Row, RowHash, RowEq> temp_keys_now;
+
+  auto note_result = [&](const AggregateRegistry::PublishResult& result) {
+    if (!result.ok) {
+      if (rollback == kNoRollback || result.rollback_to < rollback) {
+        rollback = result.rollback_to;
+      }
+    }
+  };
+
+  // Re-scales an unscaled result for presentation / downstream join rows.
+  auto scale_value = [&](size_t a, const Value& unscaled) -> Value {
+    if (unscaled.is_null() || !block_->aggs[a].fn->ScalesLinearly() ||
+        effective_scale == 1.0) {
+      return unscaled;
+    }
+    return Value::Double(unscaled.AsDouble() * effective_scale);
+  };
+
+  auto publish_group =
+      [&](const Row& key, const GroupedAggregateState::GroupCells* sketch_cells,
+          const GroupedAggregateState::GroupCells* temp_cells) {
+        if (temp_cells != nullptr) temp_keys_now.insert(key);
+        const bool dirty =
+            force_full_publish_ || temp_cells != nullptr ||
+            (sketch_cells != nullptr && sketch_cells->last_touched == batch) ||
+            prev_temp_keys_.count(key) > 0;
+        if (!dirty) {
+          // Untouched group: integrity-refresh the stored envelope under
+          // the new scale; values are unchanged.
+          const auto result = registry_->Refresh(block_->id, key, batch, track);
+          if (!result.missing) {
+            note_result(result);
+            if (collect_output_) {
+              OutputGroup group;
+              group.key = key;
+              const int base = static_cast<int>(block_->group_by.size());
+              group.main.reserve(block_->aggs.size());
+              for (size_t a = 0; a < block_->aggs.size(); ++a) {
+                group.main.push_back(
+                    registry_->Lookup(block_->id, base + static_cast<int>(a),
+                                      key));
+              }
+              if (collect_trials_) {
+                group.trials.resize(block_->aggs.size());
+                for (size_t a = 0; a < block_->aggs.size(); ++a) {
+                  group.trials[a].reserve(options_->num_trials);
+                  for (int t = 0; t < options_->num_trials; ++t) {
+                    const Value v = registry_->LookupTrial(
+                        block_->id, base + static_cast<int>(a), key, t);
+                    group.trials[a].push_back(v.is_null() ? 0.0 : v.AsDouble());
+                  }
+                }
+                if (options_->error_method == ErrorMethod::kAnalytic &&
+                    sketch_cells != nullptr) {
+                  std::vector<double> sd;
+                  sd.reserve(block_->aggs.size());
+                  for (size_t a = 0; a < block_->aggs.size(); ++a) {
+                    sd.push_back(AnalyticUnscaledStddev(
+                        block_->aggs[a].fn->name(),
+                        sketch_cells->aggs[a].moment_count(),
+                        sketch_cells->aggs[a].moment_variance()));
+                  }
+                  group.analytic_sd = DisplayAnalyticSd(sd, effective_scale);
+                }
+              }
+              latest_output_.push_back(std::move(group));
+            }
+            return;
+          }
+          // Never published (first batch after a restore): fall through.
+        }
+
+        // Materialize the group's unscaled results.
+        const bool analytic =
+            options_->error_method == ErrorMethod::kAnalytic;
+        std::vector<Value> main;
+        std::vector<std::vector<double>> trials;
+        std::vector<double> analytic_sd;
+        main.reserve(block_->aggs.size());
+        trials.reserve(block_->aggs.size());
+        for (size_t a = 0; a < block_->aggs.size(); ++a) {
+          if (sketch_cells != nullptr && temp_cells != nullptr) {
+            TrialAccumulatorSet merged = sketch_cells->aggs[a].Clone();
+            merged.Merge(temp_cells->aggs[a]);
+            main.push_back(merged.MainResult(1.0));
+            trials.push_back(merged.TrialResults(1.0));
+            if (analytic) {
+              analytic_sd.push_back(AnalyticUnscaledStddev(
+                  block_->aggs[a].fn->name(), merged.moment_count(),
+                  merged.moment_variance()));
+            }
+          } else {
+            const TrialAccumulatorSet& only =
+                sketch_cells != nullptr ? sketch_cells->aggs[a]
+                                        : temp_cells->aggs[a];
+            main.push_back(only.MainResult(1.0));
+            trials.push_back(only.TrialResults(1.0));
+            if (analytic) {
+              analytic_sd.push_back(AnalyticUnscaledStddev(
+                  block_->aggs[a].fn->name(), only.moment_count(),
+                  only.moment_variance()));
+            }
+          }
+        }
+        // Emit the group downstream the first time it appears.
+        if (feeds_join_ && emitted_set_.find(key) == emitted_set_.end()) {
+          emitted_set_.insert(key);
+          emitted_order_.push_back(key);
+          ExecRow out;
+          out.values = key;
+          for (size_t a = 0; a < main.size(); ++a) {
+            out.values.push_back(scale_value(a, main[a]));
+          }
+          new_output_rows_.push_back(std::move(out));
+        }
+        if (collect_output_) {
+          OutputGroup group;
+          group.key = key;
+          group.main.reserve(main.size());
+          for (size_t a = 0; a < main.size(); ++a) {
+            group.main.push_back(scale_value(a, main[a]));
+          }
+          if (collect_trials_) {
+            group.trials = trials;
+            for (size_t a = 0; a < trials.size(); ++a) {
+              if (block_->aggs[a].fn->ScalesLinearly() &&
+                  effective_scale != 1.0) {
+                for (double& x : group.trials[a]) x *= effective_scale;
+              }
+            }
+            if (analytic) {
+              group.analytic_sd = DisplayAnalyticSd(analytic_sd,
+                                                    effective_scale);
+            }
+          }
+          latest_output_.push_back(std::move(group));
+        }
+        note_result(registry_->Publish(block_->id, key, batch, std::move(main),
+                                       std::move(trials), track,
+                                       analytic ? &analytic_sd : nullptr));
+      };
+
+  for (const auto& [key, cells] : sketch_.groups()) {
+    publish_group(key, &cells, temp.Find(key));
+  }
+  for (const auto& [key, cells] : temp.groups()) {
+    if (sketch_.Find(key) == nullptr) publish_group(key, nullptr, &cells);
+  }
+  prev_temp_keys_ = std::move(temp_keys_now);
+  force_full_publish_ = false;
+
+  // Broadcast of the refreshed aggregate relation to every virtual worker
+  // (the §6.2 broadcast join that lazy evaluation relies on).
+  if (consumed_downstream_ && options_->virtual_workers > 1) {
+    stats->shipped_bytes += registry_->RelationBytes(block_->id) *
+                            static_cast<uint64_t>(options_->virtual_workers - 1);
+  }
+  return rollback;
+}
+
+Table BlockExecutor::CurrentSpjOutput(
+    std::vector<std::vector<std::vector<double>>>* estimates) const {
+  Table out(block_->output_schema);
+  EvalContext ctx = MainContext();
+  auto emit = [&](ExecRow row) {
+    RefreshRow(&row, /*charge_regeneration=*/false);
+    ctx.trial = -1;
+    Row projected;
+    projected.reserve(block_->projections.size());
+    for (const ExprPtr& p : block_->projections) {
+      projected.push_back(p->Eval(row.values, ctx));
+    }
+    if (estimates != nullptr) {
+      std::vector<std::vector<double>> row_trials(block_->projections.size());
+      for (size_t p = 0; p < block_->projections.size(); ++p) {
+        if (!ann_->output_attr_uncertain[p]) continue;
+        row_trials[p].reserve(bootstrap_.num_trials());
+        for (int t = 0; t < bootstrap_.num_trials(); ++t) {
+          ctx.trial = t;
+          const Value v = block_->projections[p]->Eval(row.values, ctx);
+          row_trials[p].push_back(v.is_null() ? projected[p].AsDouble()
+                                              : v.AsDouble());
+        }
+      }
+      estimates->push_back(std::move(row_trials));
+    }
+    out.AddRow(std::move(projected));
+  };
+  for (const ExecRow& row : sink_rows_) emit(row);
+  for (const ExecRow& row : pending_passing_) emit(row);
+  return out;
+}
+
+size_t BlockExecutor::JoinStateBytes() const {
+  size_t total = 0;
+  for (const JoinStep& step : join_steps_) total += step.StateBytes();
+  return total;
+}
+
+size_t BlockExecutor::OtherStateBytes() const {
+  size_t total = sketch_.ByteSize();
+  total += BatchByteSize(pending_);
+  total += BatchByteSize(sink_rows_);
+  for (const Row& key : emitted_order_) total += RowByteSize(key);
+  return total;
+}
+
+std::shared_ptr<const BlockExecutor::Checkpoint> BlockExecutor::MakeCheckpoint(
+    int batch) const {
+  auto cp = std::make_shared<Checkpoint>();
+  cp->batch = batch;
+  cp->join_marks.reserve(join_steps_.size());
+  for (const JoinStep& step : join_steps_) {
+    cp->join_marks.push_back(step.watermark());
+  }
+  cp->pending = pending_;
+  cp->sketch = sketch_.Clone();
+  cp->sink_watermark = sink_rows_.size();
+  cp->emitted_watermark = emitted_order_.size();
+  return cp;
+}
+
+void BlockExecutor::Restore(const Checkpoint& checkpoint) {
+  for (size_t k = 0; k < join_steps_.size(); ++k) {
+    join_steps_[k].TruncateTo(checkpoint.join_marks[k]);
+  }
+  pending_ = checkpoint.pending;
+  sketch_ = checkpoint.sketch.Clone();
+  sink_rows_.resize(checkpoint.sink_watermark);
+  emitted_order_.resize(checkpoint.emitted_watermark);
+  emitted_set_.clear();
+  for (const Row& key : emitted_order_) emitted_set_.insert(key);
+  new_output_rows_.clear();
+  pending_passing_.clear();
+  prev_temp_keys_.clear();
+  // Registry values may be newer than the restored sketches.
+  force_full_publish_ = true;
+}
+
+void BlockExecutor::Reset() {
+  for (JoinStep& step : join_steps_) {
+    step.TruncateTo(JoinStep::Watermark{0, 0});
+  }
+  pending_.clear();
+  sketch_.Clear();
+  sink_rows_.clear();
+  emitted_order_.clear();
+  emitted_set_.clear();
+  new_output_rows_.clear();
+  pending_passing_.clear();
+  prev_temp_keys_.clear();
+  force_full_publish_ = true;
+}
+
+}  // namespace iolap

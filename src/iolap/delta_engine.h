@@ -1,0 +1,276 @@
+#ifndef IOLAP_IOLAP_DELTA_ENGINE_H_
+#define IOLAP_IOLAP_DELTA_ENGINE_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "bootstrap/error_estimate.h"
+#include "bootstrap/poisson_multiplicities.h"
+#include "catalog/partitioner.h"
+#include "exec/batch.h"
+#include "exec/hash_aggregate.h"
+#include "exec/operators.h"
+#include "iolap/aggregate_registry.h"
+#include "plan/uncertainty_analysis.h"
+
+namespace iolap {
+
+/// How a query is executed.
+enum class ExecutionMode {
+  /// Traditional batch OLAP: one pass over all data, no bootstrap — the
+  /// paper's "baseline".
+  kBaseline,
+  /// Classical higher-order delta rules (DBToaster-style HDA, §3.1/§8):
+  /// inner aggregates are delta-maintained, but every operator that reads a
+  /// refining aggregate re-evaluates all previously-processed data each
+  /// batch.
+  kHda,
+  /// The paper's contribution: uncertainty-driven fine-grained delta
+  /// updates. OPT1/OPT2 toggles below select the §8.2 ablation points.
+  kIolap,
+};
+
+/// How approximate results are error-estimated and how variation-range
+/// envelopes are derived.
+enum class ErrorMethod {
+  /// Simulation (poissonized) bootstrap — the paper's default.
+  kBootstrap,
+  /// Closed-form estimates from input moments (the §9 "analytical
+  /// bootstrap [39] is orthogonal" hook): no trial replicas at all, so the
+  /// per-tuple ×trials cost disappears. Supported for COUNT/SUM/AVG;
+  /// other aggregates report no estimate and classify conservatively.
+  kAnalytic,
+};
+
+/// Engine knobs; defaults follow the paper's setup (§8: bootstrap with 100
+/// trials, slack ε = 2).
+struct EngineOptions {
+  ExecutionMode mode = ExecutionMode::kIolap;
+  ErrorMethod error_method = ErrorMethod::kBootstrap;
+  /// OPT1 (§5): variation-range classification of tuple uncertainty. When
+  /// off, every tuple whose filter decision reads an uncertain aggregate is
+  /// re-evaluated every batch.
+  bool tuple_partition = true;
+  /// OPT2 (§6): lineage-based lazy evaluation. When off, re-evaluating a
+  /// saved tuple re-derives it through the block's join pipeline instead of
+  /// refreshing only its uncertain attributes.
+  bool lazy_lineage = true;
+  /// Bootstrap trials for error estimation and variation ranges.
+  int num_trials = 100;
+  /// Slack ε of the variation-range estimator.
+  double slack = 2.0;
+  /// Mini-batch count for the streamed relation.
+  size_t num_batches = 40;
+  PartitionOptions partition;
+  uint64_t seed = 42;
+  /// Virtual cluster width for the shuffle/broadcast cost model.
+  int virtual_workers = 20;
+  /// Per-batch state checkpoints retained for failure recovery; rollbacks
+  /// deeper than this degrade to a full restart.
+  size_t checkpoint_history = 8;
+  /// Failure-recovery attempts per batch before the engine falls back to
+  /// classification-free (always-correct) processing for the rest of the
+  /// run.
+  int max_recoveries_per_batch = 32;
+  /// Apply the Appendix B viewlet-transformation rewrites (query
+  /// decomposition) at compile time. Off by default; see
+  /// plan/rewrite_rules.h and bench_ablation_rewrite.
+  bool apply_rewrite_rules = false;
+};
+
+/// Per-batch counters produced by one block (folded into BatchMetrics).
+struct BlockBatchStats {
+  uint64_t input_rows = 0;
+  uint64_t recomputed_rows = 0;
+  uint64_t shipped_bytes = 0;
+};
+
+/// Executes one lineage block incrementally: join deltas through cached
+/// join states, classify filter decisions against variation ranges,
+/// maintain the aggregate sketch and the non-deterministic set, publish the
+/// block's (scaled) aggregate relation to the registry. One BlockExecutor
+/// per block, driven in topological order by the QueryController.
+class BlockExecutor {
+ public:
+  /// Returned by ProcessBatch when no rollback is needed.
+  static constexpr int kNoRollback = -2;
+
+  BlockExecutor(const QueryPlan* plan, int block_id,
+                const std::vector<BlockAnnotations>* annotations,
+                const EngineOptions* options, AggregateRegistry* registry,
+                BootstrapWeights bootstrap, bool consumed_downstream,
+                bool feeds_join);
+
+  /// Runs one mini-batch. `input_deltas[k]` holds the new rows of input k
+  /// this batch; `scale` is m_i = |D| / |D_i|. Returns kNoRollback on
+  /// success, otherwise the batch to roll back to (-1 = full restart) after
+  /// a variation-range integrity failure.
+  int ProcessBatch(int batch, double scale,
+                   const std::vector<RowBatch>& input_deltas,
+                   BlockBatchStats* stats);
+
+  /// Groups that first appeared this batch (keys + current values), the
+  /// delta feed for downstream kBlockOutput joins.
+  const RowBatch& new_output_rows() const { return new_output_rows_; }
+
+  /// One group of this batch's aggregate output snapshot.
+  struct OutputGroup {
+    Row key;
+    std::vector<Value> main;
+    std::vector<std::vector<double>> trials;
+    /// Analytic mode: scaled, fpc-corrected stddev per aggregate
+    /// (negative = no closed form for that aggregate).
+    std::vector<double> analytic_sd;
+  };
+
+  /// Enables per-batch output snapshots. The top block collects with trial
+  /// replicas (they feed the user-facing error estimates); blocks that only
+  /// feed snapshot consumers skip the trial copies (`with_trials = false`),
+  /// since consumers re-derive replicas through lineage lookups.
+  void set_collect_output(bool collect, bool with_trials = true) {
+    collect_output_ = collect;
+    collect_trials_ = collect && with_trials;
+  }
+
+  /// The batch's full aggregate output (valid after ProcessBatch when
+  /// collection is enabled). Unlike the registry relation, this snapshot
+  /// contains no ghost groups: a group whose only contributions came from
+  /// non-deterministic rows disappears the batch those rows stop passing.
+  const std::vector<OutputGroup>& latest_output() const {
+    return latest_output_;
+  }
+
+  /// Current full output of a non-aggregate (top SPJ) block: permanently
+  /// selected rows plus currently-passing non-deterministic rows, with
+  /// uncertain attributes refreshed and projections applied. When
+  /// `estimates` is non-null it receives, per emitted row, the bootstrap
+  /// trial replicas of each projection (empty for deterministic columns).
+  Table CurrentSpjOutput(
+      std::vector<std::vector<std::vector<double>>>* estimates = nullptr) const;
+
+  /// Size of the non-deterministic set (Fig. 9(e)).
+  size_t PendingCount() const { return pending_.size(); }
+
+  size_t JoinStateBytes() const;
+  size_t OtherStateBytes() const;
+
+  /// Disables range-based pruning for the rest of the run (recovery storm
+  /// fallback; keeps results exact at HDA-like cost).
+  void DisableClassification() { classification_disabled_ = true; }
+
+  /// A block whose single input is an upstream aggregate's output is a
+  /// *snapshot consumer*: it re-evaluates the upstream's (small) output
+  /// relation from scratch every batch instead of keeping delta state.
+  /// This is how post-aggregation projections and HAVING filters run —
+  /// O(#groups) per batch — and it is immune to revocable group
+  /// membership, because the snapshot never contains ghost groups.
+  bool stateless() const { return stateless_; }
+
+  // --- checkpointing for failure recovery (§5.1) -------------------------
+
+  struct Checkpoint {
+    int batch = 0;
+    std::vector<JoinStep::Watermark> join_marks;
+    std::vector<ExecRow> pending;
+    GroupedAggregateState sketch;
+    size_t sink_watermark = 0;
+    size_t emitted_watermark = 0;
+  };
+
+  std::shared_ptr<const Checkpoint> MakeCheckpoint(int batch) const;
+  void Restore(const Checkpoint& checkpoint);
+  /// Drops all state (full restart).
+  void Reset();
+
+ private:
+  EvalContext MainContext() const;
+
+  /// Incremental multi-way join of this batch's input deltas.
+  RowBatch JoinDeltas(const std::vector<RowBatch>& input_deltas);
+
+  /// Refreshes the row's uncertain attributes in place by re-evaluating
+  /// their lineage (§6.2). With `charge_regeneration` (OPT2 off, for saved
+  /// state rows), additionally performs the work of re-deriving the tuple
+  /// through the block's join pipeline (hash probes + rematerialization).
+  void RefreshRow(ExecRow* row, bool charge_regeneration) const;
+
+  /// Classifies the filter decision for `row` (§5.2 SELECT rule).
+  IntervalTruth Classify(const ExecRow& row) const;
+
+  /// Routes a classified row: sketch/sink for certain rows, the pending
+  /// (non-deterministic) set otherwise. Returns true if kept anywhere.
+  void RouteRow(ExecRow row, IntervalTruth truth, int batch,
+                GroupedAggregateState* temp, RowBatch* pending_passing,
+                std::vector<ExecRow>* new_pending);
+
+  /// Adds a certain row's aggregate contributions to `target`.
+  void AccumulateCertain(const ExecRow& row, int batch,
+                         GroupedAggregateState* target);
+
+  /// Adds a pending row's revocable (per-trial) contributions to `temp`.
+  void AccumulatePending(const ExecRow& row, int batch,
+                         GroupedAggregateState* temp);
+
+  /// Publishes sketch ∪ temp to the registry; returns rollback target or
+  /// kNoRollback.
+  int PublishOutput(int batch, double scale, const GroupedAggregateState& temp,
+                    BlockBatchStats* stats);
+
+  Row GroupKeyOf(const ExecRow& row) const;
+  const int* TrialWeightsFor(const ExecRow& row) const;
+
+  /// Converts unscaled analytic stddevs into presentation stddevs: scaled
+  /// like the aggregate and shrunk by the finite-population correction
+  /// sqrt(1 - 1/m) so the estimate collapses to zero on the final batch.
+  std::vector<double> DisplayAnalyticSd(const std::vector<double>& unscaled,
+                                        double effective_scale) const;
+
+  bool classification_enabled() const {
+    return options_->mode == ExecutionMode::kIolap &&
+           options_->tuple_partition && !classification_disabled_;
+  }
+  bool lazy_enabled() const {
+    return options_->mode == ExecutionMode::kIolap && options_->lazy_lineage;
+  }
+
+  const QueryPlan* plan_;
+  const Block* block_;
+  const BlockAnnotations* ann_;
+  const EngineOptions* options_;
+  AggregateRegistry* registry_;
+  BootstrapWeights bootstrap_;
+  bool consumed_downstream_;
+  bool feeds_join_;
+  bool any_agg_arg_uncertain_ = false;
+  bool classification_disabled_ = false;
+  bool collect_output_ = false;
+  bool collect_trials_ = false;
+  bool stateless_ = false;
+  /// Set after a rollback/reset: registry values may be newer than the
+  /// restored sketches, so the next batch republishes every group.
+  bool force_full_publish_ = false;
+
+  // Operator states (§4.2).
+  std::vector<JoinStep> join_steps_;
+  std::vector<ExecRow> pending_;  // the non-deterministic set U
+  GroupedAggregateState sketch_;
+  std::vector<ExecRow> sink_rows_;  // non-aggregate top block only
+
+  // Join-feed bookkeeping: groups already emitted downstream.
+  std::vector<Row> emitted_order_;
+  std::unordered_set<Row, RowHash, RowEq> emitted_set_;
+  RowBatch new_output_rows_;
+  RowBatch pending_passing_;  // non-agg block: pending rows passing now
+  std::vector<OutputGroup> latest_output_;
+  /// Groups whose last publication included a revocable (non-deterministic)
+  /// contribution: they must be republished even if untouched, because the
+  /// contribution may have lapsed.
+  std::unordered_set<Row, RowHash, RowEq> prev_temp_keys_;
+
+  mutable std::vector<int> trial_weight_scratch_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_IOLAP_DELTA_ENGINE_H_

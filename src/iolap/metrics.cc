@@ -1,0 +1,83 @@
+#include "iolap/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace iolap {
+
+double QueryMetrics::TotalLatencySec() const {
+  double total = 0;
+  for (const auto& b : batches) total += b.latency_sec;
+  return total;
+}
+
+uint64_t QueryMetrics::TotalRecomputedRows() const {
+  uint64_t total = 0;
+  for (const auto& b : batches) total += b.recomputed_rows;
+  return total;
+}
+
+uint64_t QueryMetrics::TotalShippedBytes() const {
+  uint64_t total = 0;
+  for (const auto& b : batches) total += b.shipped_bytes;
+  return total;
+}
+
+uint64_t QueryMetrics::MaxShippedBytesPerBatch() const {
+  uint64_t best = 0;
+  for (const auto& b : batches) best = std::max(best, b.shipped_bytes);
+  return best;
+}
+
+double QueryMetrics::AvgShippedBytesPerBatch() const {
+  if (batches.empty()) return 0;
+  return static_cast<double>(TotalShippedBytes()) / batches.size();
+}
+
+int QueryMetrics::TotalFailureRecoveries() const {
+  int total = 0;
+  for (const auto& b : batches) total += b.failure_recoveries;
+  return total;
+}
+
+uint64_t QueryMetrics::PeakJoinStateBytes() const {
+  uint64_t best = 0;
+  for (const auto& b : batches) best = std::max(best, b.join_state_bytes);
+  return best;
+}
+
+uint64_t QueryMetrics::PeakOtherStateBytes() const {
+  uint64_t best = 0;
+  for (const auto& b : batches) best = std::max(best, b.other_state_bytes);
+  return best;
+}
+
+double QueryMetrics::AvgOtherStateBytes() const {
+  if (batches.empty()) return 0;
+  double total = 0;
+  for (const auto& b : batches) total += static_cast<double>(b.other_state_bytes);
+  return total / batches.size();
+}
+
+double QueryMetrics::LatencyToFraction(double fraction) const {
+  double total = 0;
+  for (const auto& b : batches) {
+    total += b.latency_sec;
+    if (b.fraction_processed >= fraction) break;
+  }
+  return total;
+}
+
+std::string QueryMetrics::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "batches=%zu total=%.3fs recomputed=%llu shipped=%.1fMB "
+                "failures=%d peak_join_state=%.1fMB peak_other_state=%.1fKB",
+                batches.size(), TotalLatencySec(),
+                static_cast<unsigned long long>(TotalRecomputedRows()),
+                TotalShippedBytes() / 1e6, TotalFailureRecoveries(),
+                PeakJoinStateBytes() / 1e6, PeakOtherStateBytes() / 1e3);
+  return buf;
+}
+
+}  // namespace iolap

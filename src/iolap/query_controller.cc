@@ -1,0 +1,409 @@
+#include "iolap/query_controller.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "plan/uncertainty_analysis.h"
+
+namespace iolap {
+
+QueryController::QueryController(const Catalog* catalog, QueryPlan plan,
+                                 EngineOptions options)
+    : catalog_(catalog), plan_(std::move(plan)), options_(options) {}
+
+Status QueryController::Init() {
+  IOLAP_RETURN_IF_ERROR(ValidatePlan(plan_));
+  IOLAP_ASSIGN_OR_RETURN(annotations_, AnalyzeUncertainty(plan_));
+
+  // The baseline is the traditional batch engine: one pass, no bootstrap.
+  if (options_.mode == ExecutionMode::kBaseline) {
+    options_.num_batches = 1;
+    options_.num_trials = 0;
+  }
+  if (options_.num_trials < 0) {
+    return Status::InvalidArgument("num_trials must be >= 0");
+  }
+  if (options_.error_method == ErrorMethod::kAnalytic) {
+    // Closed-form estimation replaces the trial replicas entirely.
+    options_.num_trials = 0;
+  }
+
+  // Partition the streamed relation into mini-batches (§2).
+  if (!plan_.streamed_table.empty()) {
+    IOLAP_ASSIGN_OR_RETURN(const TableEntry* entry,
+                           catalog_->Find(plan_.streamed_table));
+    streamed_table_ = entry->table;
+    PartitionOptions popts = options_.partition;
+    popts.seed ^= options_.seed;
+    IOLAP_ASSIGN_OR_RETURN(
+        layout_,
+        PartitionIntoBatches(*streamed_table_, options_.num_batches, popts));
+  } else {
+    layout_.batches.resize(1);  // fully static query: one batch
+  }
+  seen_rows_.clear();
+  size_t cumulative = 0;
+  for (const auto& batch : layout_.batches) {
+    cumulative += batch.size();
+    seen_rows_.push_back(cumulative);
+  }
+
+  // Which blocks are consumed downstream (classification depends on their
+  // variation ranges), which feed joins (must emit group-delta rows), and
+  // which feed snapshot consumers (must collect per-batch output)?
+  std::vector<bool> consumed(plan_.blocks.size(), false);
+  std::vector<bool> feeds_join(plan_.blocks.size(), false);
+  std::vector<bool> feeds_snapshot(plan_.blocks.size(), false);
+  for (const Block& block : plan_.blocks) {
+    const bool snapshot_consumer =
+        block.inputs.size() == 1 &&
+        block.inputs[0].kind == BlockInput::Kind::kBlockOutput;
+    for (const BlockInput& input : block.inputs) {
+      if (input.kind == BlockInput::Kind::kBlockOutput) {
+        consumed[input.source_block] = true;
+        if (snapshot_consumer) {
+          feeds_snapshot[input.source_block] = true;
+        } else {
+          feeds_join[input.source_block] = true;
+        }
+      }
+    }
+    std::vector<const AggLookupExpr*> lookups;
+    if (block.filter != nullptr) block.filter->CollectAggLookups(&lookups);
+    for (const AggSpec& agg : block.aggs) {
+      agg.arg->CollectAggLookups(&lookups);
+    }
+    for (const ExprPtr& p : block.projections) p->CollectAggLookups(&lookups);
+    for (const ExprPtr& g : block.group_by) g->CollectAggLookups(&lookups);
+    for (const AggLookupExpr* lookup : lookups) {
+      consumed[lookup->block_id()] = true;
+    }
+  }
+
+  registry_ = std::make_unique<AggregateRegistry>(&plan_, options_.slack);
+  const BootstrapWeights bootstrap(options_.seed, options_.num_trials);
+  executors_.clear();
+  for (size_t b = 0; b < plan_.blocks.size(); ++b) {
+    executors_.push_back(std::make_unique<BlockExecutor>(
+        &plan_, static_cast<int>(b), &annotations_, &options_, registry_.get(),
+        bootstrap, consumed[b], feeds_join[b]));
+    if (feeds_snapshot[b]) {
+      // Snapshot consumers need keys + main values only; trial replicas
+      // flow through lineage lookups.
+      executors_[b]->set_collect_output(true, /*with_trials=*/false);
+    }
+  }
+  // The top block's snapshot feeds the user-facing result + estimates.
+  executors_.back()->set_collect_output(true, /*with_trials=*/true);
+  initialized_ = true;
+  return Status::OK();
+}
+
+RowBatch QueryController::StreamDelta(int b) const {
+  RowBatch delta;
+  if (streamed_table_ == nullptr) return delta;
+  const auto& ids = layout_.batches[b];
+  delta.reserve(ids.size());
+  for (uint64_t id : ids) {
+    ExecRow row;
+    row.values = streamed_table_->row(id);
+    row.weight = 1.0;
+    row.stream_uid = id;
+    delta.push_back(std::move(row));
+  }
+  return delta;
+}
+
+double QueryController::ScaleAt(int b) const {
+  if (streamed_table_ == nullptr || seen_rows_[b] == 0) return 1.0;
+  return static_cast<double>(streamed_table_->num_rows()) /
+         static_cast<double>(seen_rows_[b]);
+}
+
+int QueryController::ProcessOneBatch(int b, BlockBatchStats* stats) {
+  const RowBatch stream_delta = StreamDelta(b);
+  const double scale = ScaleAt(b);
+  int rollback = BlockExecutor::kNoRollback;
+
+  for (size_t blk = 0; blk < plan_.blocks.size(); ++blk) {
+    const Block& block = plan_.blocks[blk];
+    std::vector<RowBatch> deltas(block.inputs.size());
+    for (size_t k = 0; k < block.inputs.size(); ++k) {
+      const BlockInput& input = block.inputs[k];
+      if (input.kind == BlockInput::Kind::kBaseTable) {
+        if (input.streamed) {
+          deltas[k] = stream_delta;
+        } else if (b == 0) {
+          auto entry = catalog_->Find(input.table_name);
+          // Validated at Init; an entry is always present here.
+          const Table& table = *(*entry)->table;
+          deltas[k].reserve(table.num_rows());
+          for (const Row& r : table.rows()) {
+            ExecRow row;
+            row.values = r;
+            deltas[k].push_back(std::move(row));
+          }
+        }
+      } else if (executors_[blk]->stateless()) {
+        // Snapshot consumer: the upstream's full, ghost-free output
+        // relation of this batch.
+        for (const auto& group : executors_[input.source_block]->latest_output()) {
+          ExecRow row;
+          row.values = group.key;
+          row.values.insert(row.values.end(), group.main.begin(),
+                            group.main.end());
+          deltas[k].push_back(std::move(row));
+        }
+      } else {
+        deltas[k] = executors_[input.source_block]->new_output_rows();
+      }
+    }
+    const int request = executors_[blk]->ProcessBatch(b, scale, deltas, stats);
+    if (request != BlockExecutor::kNoRollback) {
+      if (rollback == BlockExecutor::kNoRollback || request < rollback) {
+        rollback = request;
+      }
+    }
+  }
+  return rollback;
+}
+
+int QueryController::RollbackTo(int target, int replay_window) {
+  if (target >= 0) {
+    // Find the checkpoint taken after batch `target`.
+    for (const auto& snapshot : checkpoints_) {
+      if (!snapshot.empty() && snapshot[0]->batch == target) {
+        for (size_t blk = 0; blk < executors_.size(); ++blk) {
+          executors_[blk]->Restore(*snapshot[blk]);
+        }
+        registry_->RollbackTo(target, replay_window);
+        return target;
+      }
+    }
+    // Checkpoint evicted: degrade to a full restart.
+    target = -1;
+  }
+  for (auto& executor : executors_) executor->Reset();
+  registry_->RollbackTo(-1, replay_window);
+  checkpoints_.clear();
+  return -1;
+}
+
+Status QueryController::Run(const ResultObserver& observer) {
+  if (!initialized_) IOLAP_RETURN_IF_ERROR(Init());
+  metrics_ = QueryMetrics{};
+  checkpoints_.clear();
+
+  const int num_batches = static_cast<int>(layout_.batches.size());
+  for (int b = 0; b < num_batches; ++b) {
+    WallTimer timer;
+    BatchMetrics bm;
+    bm.batch = b;
+
+    BlockBatchStats stats;
+    int rollback = ProcessOneBatch(b, &stats);
+
+    // Failure recovery (§5.1): roll back to the last consistent batch and
+    // reprocess forward. A recovery storm falls back to classification-free
+    // processing, which cannot fail.
+    int attempts = 0;
+    while (rollback != BlockExecutor::kNoRollback) {
+      ++attempts;
+      bm.failure_recoveries++;
+      if (attempts > options_.max_recoveries_per_batch) {
+        for (auto& executor : executors_) executor->DisableClassification();
+        rollback = -1;
+      }
+      const int restored = RollbackTo(rollback, b - rollback);
+      // Drop checkpoints newer than the restore point.
+      while (!checkpoints_.empty() &&
+             checkpoints_.back()[0]->batch > restored) {
+        checkpoints_.pop_back();
+      }
+      rollback = BlockExecutor::kNoRollback;
+      for (int bb = restored + 1; bb <= b; ++bb) {
+        BlockBatchStats replay_stats;
+        const int request = ProcessOneBatch(bb, &replay_stats);
+        bm.recomputed_rows += replay_stats.input_rows;
+        bm.recomputed_rows += replay_stats.recomputed_rows;
+        bm.shipped_bytes += replay_stats.shipped_bytes;
+        if (bb < b) {
+          // Re-checkpoint replayed batches so a later failure can land on
+          // them again.
+          std::vector<std::shared_ptr<const BlockExecutor::Checkpoint>> snap;
+          for (const auto& executor : executors_) {
+            snap.push_back(executor->MakeCheckpoint(bb));
+          }
+          checkpoints_.push_back(std::move(snap));
+          if (checkpoints_.size() > options_.checkpoint_history) {
+            checkpoints_.pop_front();
+          }
+        }
+        if (request != BlockExecutor::kNoRollback) {
+          rollback = request;
+          break;
+        }
+      }
+    }
+
+    // Take this batch's checkpoint.
+    {
+      std::vector<std::shared_ptr<const BlockExecutor::Checkpoint>> snap;
+      for (const auto& executor : executors_) {
+        snap.push_back(executor->MakeCheckpoint(b));
+      }
+      checkpoints_.push_back(std::move(snap));
+      if (checkpoints_.size() > options_.checkpoint_history) {
+        checkpoints_.pop_front();
+      }
+    }
+
+    BuildResult(b);
+
+    bm.latency_sec = timer.ElapsedSeconds();
+    bm.fraction_processed = last_result_.fraction_processed;
+    bm.input_rows = stats.input_rows;
+    bm.recomputed_rows += stats.recomputed_rows;
+    bm.shipped_bytes += stats.shipped_bytes;
+    for (const auto& executor : executors_) {
+      bm.join_state_bytes += executor->JoinStateBytes();
+      bm.other_state_bytes += executor->OtherStateBytes();
+    }
+    bm.other_state_bytes += registry_->TotalBytes();
+    metrics_.batches.push_back(bm);
+
+    if (observer != nullptr && observer(last_result_) == BatchAction::kStop) {
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+void QueryController::BuildResult(int batch) {
+  const Block& top = plan_.top();
+  PartialResult result;
+  result.batch = batch;
+  result.fraction_processed =
+      streamed_table_ == nullptr
+          ? 1.0
+          : static_cast<double>(seen_rows_[batch]) /
+                std::max<size_t>(1, streamed_table_->num_rows());
+
+  if (top.has_aggregate()) {
+    // Snapshot of this batch's aggregate output, sorted by group key for a
+    // deterministic presentation.
+    std::vector<const BlockExecutor::OutputGroup*> groups;
+    for (const auto& group : executors_.back()->latest_output()) {
+      groups.push_back(&group);
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const auto* a, const auto* b) {
+                const size_t n = std::min(a->key.size(), b->key.size());
+                for (size_t i = 0; i < n; ++i) {
+                  const int c = a->key[i].Compare(b->key[i]);
+                  if (c != 0) return c < 0;
+                }
+                return a->key.size() < b->key.size();
+              });
+    result.rows = Table(top.output_schema);
+    for (size_t a = 0; a < top.aggs.size(); ++a) {
+      result.estimated_columns.push_back(
+          static_cast<int>(top.group_by.size() + a));
+    }
+    for (const auto* group : groups) {
+      Row row = group->key;
+      row.insert(row.end(), group->main.begin(), group->main.end());
+      result.rows.AddRow(std::move(row));
+      std::vector<ErrorEstimate> row_estimates;
+      row_estimates.reserve(top.aggs.size());
+      for (size_t a = 0; a < top.aggs.size(); ++a) {
+        const double v =
+            group->main[a].is_null() ? 0.0 : group->main[a].AsDouble();
+        if (a < group->analytic_sd.size()) {
+          row_estimates.push_back(
+              EstimateFromStddev(v, group->analytic_sd[a]));
+        } else {
+          row_estimates.push_back(EstimateError(v, group->trials[a]));
+        }
+      }
+      result.estimates.push_back(std::move(row_estimates));
+    }
+  } else {
+    std::vector<std::vector<std::vector<double>>> trials;
+    Table unsorted = executors_.back()->CurrentSpjOutput(&trials);
+    for (size_t p = 0; p < top.projections.size(); ++p) {
+      if (annotations_.back().output_attr_uncertain[p]) {
+        result.estimated_columns.push_back(static_cast<int>(p));
+      }
+    }
+    // Sort rows (and their trial replicas) for a deterministic
+    // presentation matching the reference evaluator.
+    std::vector<size_t> order(unsorted.num_rows());
+    for (size_t r = 0; r < order.size(); ++r) order[r] = r;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const Row& ra = unsorted.row(a);
+      const Row& rb = unsorted.row(b);
+      const size_t n = std::min(ra.size(), rb.size());
+      for (size_t i = 0; i < n; ++i) {
+        const int c = ra[i].Compare(rb[i]);
+        if (c != 0) return c < 0;
+      }
+      return a < b;
+    });
+    result.rows = Table(top.output_schema);
+    for (size_t r : order) {
+      result.rows.AddRow(unsorted.row(r));
+      std::vector<ErrorEstimate> row_estimates;
+      for (int col : result.estimated_columns) {
+        const Value& v = unsorted.row(r)[col];
+        row_estimates.push_back(
+            EstimateError(v.is_null() ? 0.0 : v.AsDouble(), trials[r][col]));
+      }
+      result.estimates.push_back(std::move(row_estimates));
+    }
+  }
+  // Presentation (ORDER BY / LIMIT): reorder and truncate the delivered
+  // rows together with their estimates. Display-only — the incremental
+  // semantics above are untouched.
+  if (!plan_.presentation.empty()) {
+    std::vector<size_t> order(result.rows.num_rows());
+    for (size_t r = 0; r < order.size(); ++r) order[r] = r;
+    if (!plan_.presentation.order_by.empty()) {
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        for (const Presentation::Key& key : plan_.presentation.order_by) {
+          const int c =
+              result.rows.row(a)[key.column].Compare(
+                  result.rows.row(b)[key.column]);
+          if (c != 0) return key.descending ? c > 0 : c < 0;
+        }
+        return false;
+      });
+    }
+    size_t keep = order.size();
+    if (plan_.presentation.limit >= 0) {
+      keep = std::min<size_t>(keep,
+                              static_cast<size_t>(plan_.presentation.limit));
+    }
+    PartialResult presented;
+    presented.batch = result.batch;
+    presented.fraction_processed = result.fraction_processed;
+    presented.estimated_columns = result.estimated_columns;
+    presented.rows = Table(result.rows.schema());
+    for (size_t i = 0; i < keep; ++i) {
+      presented.rows.AddRow(result.rows.row(order[i]));
+      if (order[i] < result.estimates.size()) {
+        presented.estimates.push_back(result.estimates[order[i]]);
+      }
+    }
+    result = std::move(presented);
+  }
+  last_result_ = std::move(result);
+}
+
+size_t QueryController::PendingCount() const {
+  size_t total = 0;
+  for (const auto& executor : executors_) total += executor->PendingCount();
+  return total;
+}
+
+}  // namespace iolap

@@ -1,0 +1,70 @@
+#include "iolap/session.h"
+
+#include "plan/rewrite_rules.h"
+#include "plan/uncertainty_analysis.h"
+#include "sql/binder.h"
+
+namespace iolap {
+
+Status IncrementalQuery::Run(const ResultObserver& observer) {
+  return controller_->Run(observer);
+}
+
+Session::Session(const Catalog* catalog, EngineOptions options)
+    : Session(catalog, options, FunctionRegistry::Default()) {}
+
+Session::Session(const Catalog* catalog, EngineOptions options,
+                 std::shared_ptr<FunctionRegistry> functions)
+    : catalog_(catalog),
+      options_(options),
+      functions_(std::move(functions)) {}
+
+Result<std::unique_ptr<IncrementalQuery>> Session::Sql(
+    const std::string& query) {
+  IOLAP_ASSIGN_OR_RETURN(QueryPlan plan,
+                         BindSql(query, *catalog_, functions_));
+  return FromPlan(std::move(plan));
+}
+
+Result<std::string> Session::Explain(const std::string& query) {
+  IOLAP_ASSIGN_OR_RETURN(QueryPlan plan, BindSql(query, *catalog_, functions_));
+  if (options_.apply_rewrite_rules) {
+    RewriteStats stats;
+    IOLAP_ASSIGN_OR_RETURN(plan, ApplyRewriteRules(std::move(plan), &stats));
+  }
+  IOLAP_ASSIGN_OR_RETURN(std::vector<BlockAnnotations> annotations,
+                         AnalyzeUncertainty(plan));
+  std::string out = plan.ToString();
+  out += "\nuncertainty analysis (§4.1):\n";
+  for (size_t b = 0; b < plan.blocks.size(); ++b) {
+    const Block& block = plan.blocks[b];
+    const BlockAnnotations& ann = annotations[b];
+    out += "  block " + std::to_string(b) + " (" + block.debug_name + "):";
+    if (ann.dynamic) out += " dynamic";
+    if (ann.filter_uncertain) out += " uncertain-filter";
+    if (ann.depends_on_uncertain) out += " hda-recomputes";
+    bool any_arg = false;
+    for (bool u : ann.agg_arg_uncertain) any_arg = any_arg || u;
+    if (any_arg) out += " uncertain-agg-args";
+    if (ann.output_tuple_uncertain) out += " output-u#";
+    size_t uncertain_cols = 0;
+    for (bool u : ann.output_attr_uncertain) uncertain_cols += u;
+    out += " uncertain-output-cols=" + std::to_string(uncertain_cols);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::unique_ptr<IncrementalQuery>> Session::FromPlan(QueryPlan plan) {
+  if (options_.apply_rewrite_rules) {
+    RewriteStats stats;
+    IOLAP_ASSIGN_OR_RETURN(plan, ApplyRewriteRules(std::move(plan), &stats));
+  }
+  auto controller =
+      std::make_unique<QueryController>(catalog_, std::move(plan), options_);
+  IOLAP_RETURN_IF_ERROR(controller->Init());
+  return std::unique_ptr<IncrementalQuery>(
+      new IncrementalQuery(std::move(controller)));
+}
+
+}  // namespace iolap

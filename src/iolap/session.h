@@ -1,0 +1,92 @@
+#ifndef IOLAP_IOLAP_SESSION_H_
+#define IOLAP_IOLAP_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/function_registry.h"
+#include "iolap/query_controller.h"
+
+namespace iolap {
+
+/// A compiled incremental query, ready to run. Obtained from Session::Sql
+/// or Session::FromPlan. Running delivers one PartialResult per mini-batch
+/// through the observer; the observer may stop the execution at any point
+/// (the paper's interactive accuracy/latency control, §2).
+class IncrementalQuery {
+ public:
+  /// Executes all mini-batches (or until the observer stops the run).
+  Status Run(const ResultObserver& observer = nullptr);
+
+  /// Per-batch performance counters of the last Run.
+  const QueryMetrics& metrics() const { return controller_->metrics(); }
+
+  /// The most recent partial (or final) result.
+  const PartialResult& last_result() const {
+    return controller_->last_result();
+  }
+
+  const QueryPlan& plan() const { return controller_->plan(); }
+  size_t num_batches() const { return controller_->num_batches(); }
+
+  /// Direct access for tests / benchmarks.
+  QueryController& controller() { return *controller_; }
+
+ private:
+  friend class Session;
+  explicit IncrementalQuery(std::unique_ptr<QueryController> controller)
+      : controller_(std::move(controller)) {}
+
+  std::unique_ptr<QueryController> controller_;
+};
+
+/// The top-level entry point of the library:
+///
+///   Catalog catalog;
+///   catalog.RegisterTable("sessions", sessions, /*streamed=*/true);
+///   Session session(&catalog);
+///   auto query = session.Sql(
+///       "SELECT AVG(play_time) FROM sessions "
+///       "WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)");
+///   (*query)->Run([](const PartialResult& r) {
+///     // inspect r.rows / r.estimates, stop when accurate enough
+///     return BatchAction::kContinue;
+///   });
+///
+/// A Session owns engine options and a function registry (extend it with
+/// UDFs/UDAFs before compiling queries); the catalog is shared and outlives
+/// the session.
+class Session {
+ public:
+  explicit Session(const Catalog* catalog, EngineOptions options = {});
+  Session(const Catalog* catalog, EngineOptions options,
+          std::shared_ptr<FunctionRegistry> functions);
+
+  /// Compiles a SQL query of the supported subset (see sql/binder.h).
+  Result<std::unique_ptr<IncrementalQuery>> Sql(const std::string& query);
+
+  /// Compiles `query` and renders its lineage-block plan together with the
+  /// §4.1 uncertainty annotations — which filters are uncertain, which
+  /// attributes carry lineage, which blocks HDA would have to re-evaluate
+  /// from scratch. The online-rewriter output, in human-readable form.
+  Result<std::string> Explain(const std::string& query);
+
+  /// Wraps a hand-built plan (PlanBuilder).
+  Result<std::unique_ptr<IncrementalQuery>> FromPlan(QueryPlan plan);
+
+  /// The registry new queries compile against; register UDFs/UDAFs here.
+  const std::shared_ptr<FunctionRegistry>& functions() { return functions_; }
+
+  EngineOptions* mutable_options() { return &options_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  const Catalog* catalog_;
+  EngineOptions options_;
+  std::shared_ptr<FunctionRegistry> functions_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_IOLAP_SESSION_H_

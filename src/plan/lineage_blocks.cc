@@ -1,0 +1,37 @@
+#include "plan/lineage_blocks.h"
+
+namespace iolap {
+
+std::vector<ExprPtr> ComputeSpjLineage(const QueryPlan& plan,
+                                       const Block& block) {
+  std::vector<ExprPtr> lineage(block.spj_schema.num_columns(), nullptr);
+  size_t offset = 0;
+  for (const BlockInput& input : block.inputs) {
+    if (input.kind == BlockInput::Kind::kBlockOutput) {
+      const Block& src = plan.blocks[input.source_block];
+      const size_t num_keys = src.group_by.size();
+      // Key expressions: references to this input's group-key columns at
+      // their position in the SPJ layout. Shared by every aggregate column
+      // of the input.
+      std::vector<ExprPtr> key_refs;
+      key_refs.reserve(num_keys);
+      for (size_t k = 0; k < num_keys; ++k) {
+        const size_t col = offset + k;
+        key_refs.push_back(Col(static_cast<int>(col),
+                               block.spj_schema.column(col).name,
+                               block.spj_schema.column(col).type));
+      }
+      for (size_t a = 0; a < src.aggs.size(); ++a) {
+        const size_t col = offset + num_keys + a;
+        lineage[col] = std::make_shared<AggLookupExpr>(
+            input.source_block, static_cast<int>(num_keys + a), key_refs,
+            block.spj_schema.column(col).type,
+            src.aggs[a].output_name);
+      }
+    }
+    offset += input.schema.num_columns();
+  }
+  return lineage;
+}
+
+}  // namespace iolap

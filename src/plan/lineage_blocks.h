@@ -1,0 +1,29 @@
+#ifndef IOLAP_PLAN_LINEAGE_BLOCKS_H_
+#define IOLAP_PLAN_LINEAGE_BLOCKS_H_
+
+#include <vector>
+
+#include "core/expr.h"
+#include "plan/logical_plan.h"
+
+namespace iolap {
+
+/// Computes the per-column lineage of a block's SPJ row layout (§6.1).
+///
+/// Deterministic columns (base-table columns, group keys of upstream
+/// outputs) get a null entry. Aggregate columns pulled in from an upstream
+/// block's output get an AggLookupExpr keyed by the group-key columns of
+/// that same input — the compile-time extraction of the paper's lineage
+/// function, with only the per-row key left to evaluate at runtime.
+///
+/// The result vector is indexed by SPJ column and is what EvalContext's
+/// `column_lineage` expects: trial and interval evaluation of a column
+/// reference re-derives the column through this expression, and the OPT2
+/// lazy-evaluation step refreshes stale state rows by re-evaluating exactly
+/// these expressions.
+std::vector<ExprPtr> ComputeSpjLineage(const QueryPlan& plan,
+                                       const Block& block);
+
+}  // namespace iolap
+
+#endif  // IOLAP_PLAN_LINEAGE_BLOCKS_H_

@@ -1,0 +1,39 @@
+#ifndef IOLAP_PLAN_REWRITE_RULES_H_
+#define IOLAP_PLAN_REWRITE_RULES_H_
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+
+namespace iolap {
+
+/// Statistics of one optimizer pass.
+struct RewriteStats {
+  /// Blocks decomposed by the query-decomposition rule.
+  int decompositions = 0;
+};
+
+/// Applies the paper's Appendix B viewlet-transformation rewrites (after
+/// DBToaster [10]) where they fire. Currently implemented: **query
+/// decomposition** (Appendix B, rule 1):
+///
+///   γ_{A∪B, SUM(f1·f2)}(Q1 ⋈ Q2)
+///     = γ_{A∪B, SUM(s1·s2)}( γ_{A∪K, s1=SUM(f1)}(Q1) ⋈ γ_{B∪K, s2=SUM(f2)}(Q2) )
+///
+/// pushing the group-by aggregation below the join when every aggregate
+/// argument, group key and filter conjunct references columns of a single
+/// input. SUM/COUNT aggregates decompose (a one-sided SUM multiplies the
+/// other side's per-key COUNT); the join then operates on the two partial
+/// aggregate relations, shrinking its cached state from the input
+/// cardinalities to the per-key group counts — which is exactly the
+/// benefit the paper describes (Appendix B / Example 4).
+///
+/// The rule fires only on two-input base-table blocks with deterministic
+/// filters (uncertain predicates must stay above their aggregates) and
+/// with non-empty equi-join keys. The rewritten plan is semantically
+/// equivalent (asserted by the differential tests in
+/// tests/rewrite_rules_test.cc).
+Result<QueryPlan> ApplyRewriteRules(QueryPlan plan, RewriteStats* stats);
+
+}  // namespace iolap
+
+#endif  // IOLAP_PLAN_REWRITE_RULES_H_

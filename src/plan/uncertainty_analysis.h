@@ -1,0 +1,63 @@
+#ifndef IOLAP_PLAN_UNCERTAINTY_ANALYSIS_H_
+#define IOLAP_PLAN_UNCERTAINTY_ANALYSIS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/expr.h"
+#include "plan/logical_plan.h"
+
+namespace iolap {
+
+/// Compile-time uncertainty annotations of one block, derived by the §4.1
+/// propagation rules. The delta engine consults these to decide which
+/// operator states to materialize and which rows need the variation-range
+/// classification.
+struct BlockAnnotations {
+  /// Per SPJ column: lineage expression, null for deterministic columns
+  /// (see ComputeSpjLineage).
+  std::vector<ExprPtr> spj_lineage;
+
+  /// u_A tags of the SPJ layout: true iff spj_lineage is non-null.
+  std::vector<bool> spj_attr_uncertain;
+
+  /// True if the block filter exists and its decision can depend on an
+  /// uncertain aggregate — the SELECT rule of §4.1: such filters create
+  /// tuple uncertainty, and §5's range classification applies to them.
+  bool filter_uncertain = false;
+
+  /// Per AggSpec: the aggregate input expression reads uncertain
+  /// attributes (§4.2: such inputs cannot be folded into a sketch and must
+  /// be re-evaluated every batch).
+  std::vector<bool> agg_arg_uncertain;
+
+  /// Per output column: u_A of the block's output (group keys and
+  /// deterministic projections are false; aggregates over streamed data
+  /// and uncertain projections are true).
+  std::vector<bool> output_attr_uncertain;
+
+  /// u_# of the block's output rows: true iff the membership of the output
+  /// can still change (uncertain filter decisions upstream of the output).
+  bool output_tuple_uncertain = false;
+
+  /// The block receives new input rows after batch 1 (a streamed scan, or
+  /// an upstream block that itself grows).
+  bool dynamic = false;
+
+  /// Any expression of the block references an uncertain aggregate. Under
+  /// classical (HDA) delta rules, such a block must be re-evaluated on all
+  /// accumulated data whenever the aggregate refines (§3.1); under iOLAP it
+  /// is the block where fine-grained uncertainty tracking pays off.
+  bool depends_on_uncertain = false;
+};
+
+/// Runs the §4.1 propagation over the plan, in block order. Errors:
+/// - a block whose output is consumed as a join input downstream has an
+///   uncertain filter (membership of join inputs must be append-only;
+///   binder rewrites push such predicates into the consumer),
+/// - a non-smooth aggregate (MIN/MAX) over sampled (dynamic) input (§3.3).
+Result<std::vector<BlockAnnotations>> AnalyzeUncertainty(const QueryPlan& plan);
+
+}  // namespace iolap
+
+#endif  // IOLAP_PLAN_UNCERTAINTY_ANALYSIS_H_

@@ -1,0 +1,55 @@
+#ifndef IOLAP_SQL_BINDER_H_
+#define IOLAP_SQL_BINDER_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+#include "sql/parser.h"
+
+namespace iolap {
+
+/// Lowers a parsed SELECT into a QueryPlan of lineage blocks — the
+/// compile-time half of the paper's "Online Query Rewriter" (§7). The
+/// binder performs:
+///
+///  - name resolution and type checking (alias-qualified column names),
+///  - comma-join planning: equality conjuncts in WHERE become left-deep
+///    equi-join edges,
+///  - scalar-subquery compilation: an uncorrelated subquery becomes its own
+///    aggregate block referenced through an AggLookupExpr; a correlated
+///    subquery (inner.col = outer.col conjuncts) is decorrelated into a
+///    grouped block keyed by the correlation columns,
+///  - IN-subquery rewriting: `x IN (SELECT k FROM ... GROUP BY k HAVING p)`
+///    becomes a join with the raw grouped block plus `p` folded into the
+///    consumer's filter. This keeps block outputs append-only, which the
+///    delta engine's join caches rely on (see AnalyzeUncertainty),
+///  - HAVING / non-trivial select items: a post-aggregation block is added
+///    on top of the aggregate block.
+///
+/// Supported subset: SELECT-PROJECT-JOIN-AGGREGATE with arbitrary nesting
+/// through the constructs above; UNION/ORDER BY/OUTER JOIN are not
+/// supported (outer joins need set difference, which the paper's positive
+/// relational algebra excludes, §3.3).
+class Binder {
+ public:
+  Binder(const Catalog* catalog,
+         std::shared_ptr<const FunctionRegistry> functions);
+
+  /// Binds a parsed statement.
+  Result<QueryPlan> Bind(const SelectStmt& stmt);
+
+ private:
+  class Impl;
+  const Catalog* catalog_;
+  std::shared_ptr<const FunctionRegistry> functions_;
+};
+
+/// Parse + bind in one step.
+Result<QueryPlan> BindSql(const std::string& sql, const Catalog& catalog,
+                          std::shared_ptr<const FunctionRegistry> functions);
+
+}  // namespace iolap
+
+#endif  // IOLAP_SQL_BINDER_H_

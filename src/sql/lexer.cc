@@ -1,0 +1,180 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace iolap {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      token.kind = TokenKind::kIdentifier;
+      token.text = sql.substr(i, j - i);
+      for (char& ch : token.text) {
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      }
+      i = j;
+    } else if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(sql[i + 1]))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (IsDigit(sql[j]) || sql[j] == '.')) {
+        if (sql[j] == '.') is_float = true;
+        ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && IsDigit(sql[k])) {
+          is_float = true;
+          j = k;
+          while (j < n && IsDigit(sql[j])) ++j;
+        }
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = sql.substr(i, j - i);
+      token.is_float = is_float;
+      i = j;
+    } else if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += sql[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(text);
+      i = j;
+    } else {
+      switch (c) {
+        case ',':
+          token.kind = TokenKind::kComma;
+          ++i;
+          break;
+        case ';':
+          token.kind = TokenKind::kSemicolon;
+          ++i;
+          break;
+        case '.':
+          token.kind = TokenKind::kDot;
+          ++i;
+          break;
+        case '(':
+          token.kind = TokenKind::kLeftParen;
+          ++i;
+          break;
+        case ')':
+          token.kind = TokenKind::kRightParen;
+          ++i;
+          break;
+        case '+':
+          token.kind = TokenKind::kPlus;
+          ++i;
+          break;
+        case '-':
+          token.kind = TokenKind::kMinus;
+          ++i;
+          break;
+        case '*':
+          token.kind = TokenKind::kStar;
+          ++i;
+          break;
+        case '/':
+          token.kind = TokenKind::kSlash;
+          ++i;
+          break;
+        case '%':
+          token.kind = TokenKind::kPercent;
+          ++i;
+          break;
+        case '<':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            token.kind = TokenKind::kLessEq;
+            i += 2;
+          } else if (i + 1 < n && sql[i + 1] == '>') {
+            token.kind = TokenKind::kNotEq;
+            i += 2;
+          } else {
+            token.kind = TokenKind::kLess;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            token.kind = TokenKind::kGreaterEq;
+            i += 2;
+          } else {
+            token.kind = TokenKind::kGreater;
+            ++i;
+          }
+          break;
+        case '=':
+          token.kind = TokenKind::kEq;
+          ++i;
+          break;
+        case '!':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            token.kind = TokenKind::kNotEq;
+            i += 2;
+          } else {
+            return Status::ParseError("unexpected '!' at offset " +
+                                      std::to_string(i));
+          }
+          break;
+        default:
+          return Status::ParseError(std::string("unexpected character '") +
+                                    c + "' at offset " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace iolap

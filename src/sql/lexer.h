@@ -1,0 +1,52 @@
+#ifndef IOLAP_SQL_LEXER_H_
+#define IOLAP_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace iolap {
+
+/// Token kinds of the supported SQL subset.
+enum class TokenKind {
+  kEnd,
+  kIdentifier,  // foo, foo (keywords are classified by the parser)
+  kNumber,      // 42, 3.5, .25
+  kString,      // 'text' (with '' escaping)
+  kComma,
+  kSemicolon,
+  kDot,
+  kLeftParen,
+  kRightParen,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEq,
+  kNotEq,  // <> or !=
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier text lower-cased (SQL identifiers are case-insensitive
+  /// here); string literals unescaped; numbers verbatim.
+  std::string text;
+  /// Byte offset in the input, for error messages.
+  size_t offset = 0;
+  /// Number tokens: true if the literal had a '.' or exponent.
+  bool is_float = false;
+};
+
+/// Tokenizes `sql`. Errors (unterminated string, stray character) carry the
+/// offending offset.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace iolap
+
+#endif  // IOLAP_SQL_LEXER_H_

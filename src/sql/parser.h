@@ -1,0 +1,89 @@
+#ifndef IOLAP_SQL_PARSER_H_
+#define IOLAP_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/value.h"
+
+namespace iolap {
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+struct SelectStmt;
+using SelectStmtPtr = std::shared_ptr<SelectStmt>;
+
+/// Untyped syntax tree of an expression. The binder resolves names, types
+/// and subqueries.
+struct AstExpr {
+  enum class Kind {
+    kLiteral,
+    kColumn,    // [qualifier.]name
+    kUnary,     // op in {"-", "not"}
+    kBinary,    // op in {+,-,*,/,%,<,<=,>,>=,=,<>,and,or}
+    kCall,      // fn(args) — scalar function or aggregate
+    kSubquery,  // (SELECT ...) used as a scalar
+    kIn,        // lhs IN (SELECT ...)
+    kStar,      // '*' inside count(*)
+  };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  std::string qualifier;  // kColumn: table/alias qualifier ("" if none)
+  std::string name;       // kColumn: column; kCall: function; kUnary/kBinary: op
+  std::vector<AstExprPtr> args;  // operands / call args / IN lhs
+  SelectStmtPtr subquery;        // kSubquery / kIn
+
+  std::string ToString() const;
+};
+
+/// FROM-clause table reference with optional alias.
+struct AstTableRef {
+  std::string table;
+  std::string alias;  // = table when absent
+};
+
+/// One SELECT-list item.
+struct AstSelectItem {
+  AstExprPtr expr;
+  std::string alias;  // "" = derive a name from the expression
+};
+
+/// ORDER BY entry (presentation only).
+struct AstOrderItem {
+  AstExprPtr expr;
+  bool descending = false;
+};
+
+/// A (possibly nested) SELECT statement of the supported subset:
+///
+///   SELECT item [, item]*
+///   FROM table [alias] [, table [alias]]*
+///   [WHERE expr]           -- join conditions live here, comma-join style
+///   [GROUP BY expr [, expr]*]
+///   [HAVING expr]
+///   [ORDER BY expr [ASC|DESC] [, ...]]   -- top-level only
+///   [LIMIT n]
+///
+/// `x BETWEEN a AND b` and `x IN (v1, v2, ...)` are desugared by the
+/// parser into comparisons / OR chains.
+struct SelectStmt {
+  std::vector<AstSelectItem> items;
+  std::vector<AstTableRef> from;
+  AstExprPtr where;  // null if absent
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;  // null if absent
+  std::vector<AstOrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+
+  std::string ToString() const;
+};
+
+/// Parses one SELECT statement (optionally ';'-terminated).
+Result<SelectStmtPtr> ParseSelect(const std::string& sql);
+
+}  // namespace iolap
+
+#endif  // IOLAP_SQL_PARSER_H_

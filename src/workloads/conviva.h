@@ -1,0 +1,38 @@
+#ifndef IOLAP_WORKLOADS_CONVIVA_H_
+#define IOLAP_WORKLOADS_CONVIVA_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "core/function_registry.h"
+
+namespace iolap {
+
+/// Scale knobs for the synthetic video-sessions workload standing in for
+/// the proprietary Conviva trace (§8: a 2 TB denormalized fact table of web
+/// video sessions). The generator mirrors the structure the paper
+/// describes — one wide de-normalized fact table with player/session
+/// quality metrics, skewed across sites and CDNs — at laptop scale.
+struct ConvivaConfig {
+  uint64_t seed = 7;
+  size_t sessions = 80000;
+  size_t sites = 40;
+  size_t cdns = 4;
+  size_t regions = 6;
+  /// Fraction of sessions that failed to start.
+  double failure_rate = 0.05;
+
+  ConvivaConfig Scaled(double factor) const;
+};
+
+/// Generates the sessions fact table (always streamed) into a fresh catalog.
+Result<std::shared_ptr<Catalog>> MakeConvivaCatalog(const ConvivaConfig& config);
+
+/// Registers the workload's scalar UDFs used by C6/C7 (§8: queries with
+/// UDFs): engagement_score(play, buffer) and is_hd(bitrate).
+void RegisterConvivaUdfs(FunctionRegistry* registry);
+
+}  // namespace iolap
+
+#endif  // IOLAP_WORKLOADS_CONVIVA_H_

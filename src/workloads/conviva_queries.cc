@@ -1,0 +1,107 @@
+#include "workloads/conviva_queries.h"
+
+namespace iolap {
+
+std::vector<BenchQuery> ConvivaQueries() {
+  std::vector<BenchQuery> queries;
+
+  // C1 — the Slow Buffering Impact query (paper Example 1).
+  queries.push_back(
+      {"c1",
+       "SELECT avg(play_time) FROM sessions "
+       "WHERE buffer_time > (SELECT avg(buffer_time) FROM sessions)",
+       "sessions", true});
+
+  // C2 — SBI broken down by CDN (nested subquery + grouping).
+  queries.push_back(
+      {"c2",
+       "SELECT cdn, avg(play_time), count(*) FROM sessions "
+       "WHERE buffer_time > (SELECT avg(buffer_time) FROM sessions) "
+       "GROUP BY cdn",
+       "sessions", true});
+
+  // C3 — simple SPJA: join quality per CDN.
+  queries.push_back(
+      {"c3",
+       "SELECT cdn, avg(join_time), count(*) FROM sessions "
+       "WHERE failed = 0 GROUP BY cdn",
+       "sessions", false});
+
+  // C4 — low-bitrate sessions vs the TV average (nested subquery with a
+  // filtered inner block).
+  queries.push_back(
+      {"c4",
+       "SELECT count(*) FROM sessions "
+       "WHERE bitrate_kbps < 0.8 * (SELECT avg(bitrate_kbps) FROM sessions "
+       "WHERE device = 'tv')",
+       "sessions", true});
+
+  // C5 — simple SPJA: traffic per region.
+  queries.push_back(
+      {"c5",
+       "SELECT region, sum(bytes), count(*) FROM sessions GROUP BY region",
+       "sessions", false});
+
+  // C6 — UDF + nested subquery: engagement on above-average bitrates.
+  queries.push_back(
+      {"c6",
+       "SELECT region, avg(engagement_score(play_time, buffer_time)) "
+       "FROM sessions "
+       "WHERE bitrate_kbps > (SELECT avg(bitrate_kbps) FROM sessions) "
+       "GROUP BY region",
+       "sessions", true});
+
+  // C7 — UDF + nested subquery: HD sessions that joined slowly.
+  queries.push_back(
+      {"c7",
+       "SELECT avg(play_time), count(*) FROM sessions "
+       "WHERE is_hd(bitrate_kbps) = 1 "
+       "AND join_time > (SELECT avg(join_time) FROM sessions)",
+       "sessions", true});
+
+  // C8 — UDAF + nested subquery (the paper's Figure 7(a) query).
+  queries.push_back(
+      {"c8",
+       "SELECT geomean(join_time) FROM sessions "
+       "WHERE buffer_time > (SELECT avg(buffer_time) FROM sessions)",
+       "sessions", true});
+
+  // C9 — UDAF + nested subquery, grouped.
+  queries.push_back(
+      {"c9",
+       "SELECT cdn, rms(rebuffer_count) FROM sessions "
+       "WHERE play_time > (SELECT 0.5 * avg(play_time) FROM sessions) "
+       "GROUP BY cdn",
+       "sessions", true});
+
+  // C10 — UDAF + IN/HAVING nested subquery: popular sites only.
+  queries.push_back(
+      {"c10",
+       "SELECT harmonic_mean(bitrate_kbps) FROM sessions "
+       "WHERE bitrate_kbps > 0 AND site IN "
+       "(SELECT site FROM sessions GROUP BY site HAVING count(*) > 900)",
+       "sessions", true});
+
+  // C11 — simple SPJA: mobile bitrate.
+  queries.push_back(
+      {"c11",
+       "SELECT avg(bitrate_kbps), count(*) FROM sessions "
+       "WHERE device = 'mobile' AND failed = 0",
+       "sessions", false});
+
+  // C12 — simple SPJA: short sessions.
+  queries.push_back({"c12",
+                     "SELECT count(*) FROM sessions WHERE play_time < 60",
+                     "sessions", false});
+
+  return queries;
+}
+
+BenchQuery FindConvivaQuery(const std::string& id) {
+  for (const BenchQuery& query : ConvivaQueries()) {
+    if (query.id == id) return query;
+  }
+  return BenchQuery{};
+}
+
+}  // namespace iolap

@@ -1,0 +1,21 @@
+#ifndef IOLAP_WORKLOADS_CONVIVA_QUERIES_H_
+#define IOLAP_WORKLOADS_CONVIVA_QUERIES_H_
+
+#include <vector>
+
+#include "workloads/tpch_queries.h"  // BenchQuery
+
+namespace iolap {
+
+/// The Conviva-style workload C1–C12 (§8), mirroring the paper's mix:
+/// simple SPJA queries (C3, C5, C11, C12), complex queries with nested
+/// subqueries and HAVING clauses (C1, C2, C4, C6–C10), UDFs (C6, C7) and
+/// UDAFs (C8, C9, C10). C1 is the Slow Buffering Impact query of
+/// Example 1. All queries stream the `sessions` fact table.
+std::vector<BenchQuery> ConvivaQueries();
+
+BenchQuery FindConvivaQuery(const std::string& id);
+
+}  // namespace iolap
+
+#endif  // IOLAP_WORKLOADS_CONVIVA_QUERIES_H_

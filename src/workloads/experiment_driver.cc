@@ -1,0 +1,103 @@
+#include "workloads/experiment_driver.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace iolap {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end != value ? parsed : fallback;
+}
+
+}  // namespace
+
+double BenchScale() {
+  static const double scale = EnvDouble("IOLAP_BENCH_SCALE", 1.0);
+  return scale;
+}
+
+size_t BenchBatches() {
+  static const size_t batches = static_cast<size_t>(
+      EnvDouble("IOLAP_BENCH_BATCHES", 25.0));
+  return batches == 0 ? 1 : batches;
+}
+
+int BenchTrials() {
+  static const int trials =
+      static_cast<int>(EnvDouble("IOLAP_BENCH_TRIALS", 60.0));
+  return trials < 0 ? 0 : trials;
+}
+
+std::shared_ptr<FunctionRegistry> BenchFunctions() {
+  static const std::shared_ptr<FunctionRegistry> functions = [] {
+    auto registry = FunctionRegistry::Default();
+    RegisterConvivaUdfs(registry.get());
+    return registry;
+  }();
+  return functions;
+}
+
+Result<std::shared_ptr<Catalog>> TpchCatalogStreaming(
+    const std::string& streamed_table) {
+  static std::mutex mu;
+  static std::map<std::string, std::shared_ptr<Catalog>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(streamed_table);
+  if (it != cache.end()) return it->second;
+  TpchConfig config;
+  config = config.Scaled(BenchScale());
+  IOLAP_ASSIGN_OR_RETURN(std::shared_ptr<Catalog> catalog,
+                         MakeTpchCatalog(config, streamed_table));
+  cache[streamed_table] = catalog;
+  return catalog;
+}
+
+Result<std::shared_ptr<Catalog>> ConvivaBenchCatalog() {
+  static std::mutex mu;
+  static std::shared_ptr<Catalog> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  if (cache != nullptr) return cache;
+  ConvivaConfig config;
+  config = config.Scaled(BenchScale());
+  IOLAP_ASSIGN_OR_RETURN(cache, MakeConvivaCatalog(config));
+  return cache;
+}
+
+Result<std::shared_ptr<Catalog>> CatalogFor(const BenchQuery& query,
+                                            bool conviva) {
+  if (conviva) return ConvivaBenchCatalog();
+  return TpchCatalogStreaming(query.streamed_table);
+}
+
+EngineOptions BenchOptions(ExecutionMode mode) {
+  EngineOptions options;
+  options.mode = mode;
+  options.num_trials = BenchTrials();
+  options.num_batches = BenchBatches();
+  options.slack = 2.0;
+  options.seed = 1234;
+  return options;
+}
+
+Result<RunOutcome> RunBenchQuery(std::shared_ptr<Catalog> catalog,
+                                 const BenchQuery& query,
+                                 const EngineOptions& options,
+                                 const ResultObserver& observer) {
+  Session session(catalog.get(), options, BenchFunctions());
+  IOLAP_ASSIGN_OR_RETURN(std::unique_ptr<IncrementalQuery> compiled,
+                         session.Sql(query.sql));
+  IOLAP_RETURN_IF_ERROR(compiled->Run(observer));
+  RunOutcome outcome;
+  outcome.metrics = compiled->metrics();
+  outcome.final_result = compiled->last_result();
+  return outcome;
+}
+
+}  // namespace iolap

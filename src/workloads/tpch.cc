@@ -1,0 +1,196 @@
+#include "workloads/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace iolap {
+
+namespace {
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+const char* kNationNames[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA",  "EGYPT",      "ETHIOPIA",
+    "FRANCE",  "GERMANY",   "INDIA",  "INDONESIA", "IRAN",     "IRAQ",
+    "JAPAN",   "JORDAN",    "KENYA",  "MOROCCO",  "MOZAMBIQUE", "PERU",
+    "CHINA",   "ROMANIA",   "SAUDI ARABIA", "VIETNAM", "RUSSIA",
+    "UNITED KINGDOM", "UNITED STATES"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"AIR", "RAIL", "SHIP", "TRUCK", "MAIL"};
+const char* kContainers[] = {"SM BOX", "MED BOX", "LG BOX", "JUMBO PKG"};
+const char* kReturnFlags[] = {"A", "N", "R"};
+const char* kLineStatus[] = {"F", "O"};
+const char* kBrands[] = {"Brand#11", "Brand#12", "Brand#23", "Brand#34",
+                         "Brand#45"};
+const char* kTypes[] = {"ECONOMY", "STANDARD", "PROMO", "MEDIUM", "SMALL"};
+
+// A date as yyyymmdd int within [1992-01-01, 1998-12-31].
+int64_t RandomDate(Rng* rng) {
+  const int year = 1992 + static_cast<int>(rng->NextBounded(7));
+  const int month = 1 + static_cast<int>(rng->NextBounded(12));
+  const int day = 1 + static_cast<int>(rng->NextBounded(28));
+  return year * 10000 + month * 100 + day;
+}
+
+}  // namespace
+
+TpchConfig TpchConfig::Scaled(double factor) const {
+  TpchConfig scaled = *this;
+  auto scale = [factor](size_t n) {
+    return std::max<size_t>(1, static_cast<size_t>(std::llround(n * factor)));
+  };
+  scaled.lineorder_rows = scale(lineorder_rows);
+  scaled.parts = scale(parts);
+  scaled.suppliers = scale(suppliers);
+  scaled.customers = scale(customers);
+  scaled.partsupp_rows = scale(partsupp_rows);
+  return scaled;
+}
+
+Result<std::shared_ptr<Catalog>> MakeTpchCatalog(
+    const TpchConfig& config, const std::string& streamed_table) {
+  Rng rng(config.seed ^ 0x79c4);
+  auto catalog = std::make_shared<Catalog>();
+
+  // region / nation.
+  Table region(Schema({{"r_regionkey", ValueType::kInt64},
+                       {"r_name", ValueType::kString}}));
+  for (size_t r = 0; r < config.regions && r < 5; ++r) {
+    region.AddRow({Value::Int64(static_cast<int64_t>(r)),
+                   Value::String(kRegionNames[r])});
+  }
+  Table nation(Schema({{"n_nationkey", ValueType::kInt64},
+                       {"n_name", ValueType::kString},
+                       {"n_regionkey", ValueType::kInt64}}));
+  for (size_t n = 0; n < config.nations && n < 25; ++n) {
+    nation.AddRow({Value::Int64(static_cast<int64_t>(n)),
+                   Value::String(kNationNames[n]),
+                   Value::Int64(static_cast<int64_t>(n % config.regions))});
+  }
+
+  // part.
+  Table part(Schema({{"p_partkey", ValueType::kInt64},
+                     {"p_brand", ValueType::kString},
+                     {"p_type", ValueType::kString},
+                     {"p_size", ValueType::kInt64},
+                     {"p_container", ValueType::kString},
+                     {"p_retailprice", ValueType::kDouble}}));
+  for (size_t p = 0; p < config.parts; ++p) {
+    part.AddRow({Value::Int64(static_cast<int64_t>(p)),
+                 Value::String(kBrands[rng.NextBounded(5)]),
+                 Value::String(kTypes[rng.NextBounded(5)]),
+                 Value::Int64(1 + static_cast<int64_t>(rng.NextBounded(50))),
+                 Value::String(kContainers[rng.NextBounded(4)]),
+                 Value::Double(900.0 + rng.NextDouble() * 1200.0)});
+  }
+
+  // supplier.
+  Table supplier(Schema({{"s_suppkey", ValueType::kInt64},
+                         {"s_nationkey", ValueType::kInt64},
+                         {"s_acctbal", ValueType::kDouble}}));
+  for (size_t s = 0; s < config.suppliers; ++s) {
+    supplier.AddRow(
+        {Value::Int64(static_cast<int64_t>(s)),
+         Value::Int64(static_cast<int64_t>(rng.NextBounded(config.nations))),
+         Value::Double(-999.0 + rng.NextDouble() * 10000.0)});
+  }
+
+  // customer.
+  Table customer(Schema({{"c_custkey", ValueType::kInt64},
+                         {"c_nationkey", ValueType::kInt64},
+                         {"c_acctbal", ValueType::kDouble},
+                         {"c_mktsegment", ValueType::kString}}));
+  for (size_t c = 0; c < config.customers; ++c) {
+    customer.AddRow(
+        {Value::Int64(static_cast<int64_t>(c)),
+         Value::Int64(static_cast<int64_t>(rng.NextBounded(config.nations))),
+         Value::Double(-999.0 + rng.NextDouble() * 10000.0),
+         Value::String(kSegments[rng.NextBounded(5)])});
+  }
+
+  // partsupp.
+  Table partsupp(Schema({{"ps_partkey", ValueType::kInt64},
+                         {"ps_suppkey", ValueType::kInt64},
+                         {"ps_availqty", ValueType::kInt64},
+                         {"ps_supplycost", ValueType::kDouble}}));
+  for (size_t i = 0; i < config.partsupp_rows; ++i) {
+    partsupp.AddRow(
+        {Value::Int64(static_cast<int64_t>(rng.NextBounded(config.parts))),
+         Value::Int64(static_cast<int64_t>(rng.NextBounded(config.suppliers))),
+         Value::Int64(1 + static_cast<int64_t>(rng.NextBounded(9999))),
+         Value::Double(1.0 + rng.NextDouble() * 999.0)});
+  }
+
+  // lineorder: denormalized lineitem ⋈ orders. Orders group consecutive
+  // rows (lines_per_order on average); part keys are Zipf-skewed, which is
+  // what makes the correlated Q17/Q20 groups interestingly non-uniform.
+  Table lineorder(Schema({{"lo_orderkey", ValueType::kInt64},
+                          {"lo_custkey", ValueType::kInt64},
+                          {"lo_partkey", ValueType::kInt64},
+                          {"lo_suppkey", ValueType::kInt64},
+                          {"lo_orderdate", ValueType::kInt64},
+                          {"lo_orderpriority", ValueType::kString},
+                          {"lo_shipmode", ValueType::kString},
+                          {"lo_quantity", ValueType::kDouble},
+                          {"lo_extendedprice", ValueType::kDouble},
+                          {"lo_discount", ValueType::kDouble},
+                          {"lo_tax", ValueType::kDouble},
+                          {"lo_shipdate", ValueType::kInt64},
+                          {"lo_returnflag", ValueType::kString},
+                          {"lo_linestatus", ValueType::kString}}));
+  lineorder.Reserve(config.lineorder_rows);
+  int64_t orderkey = 0;
+  int64_t order_custkey = 0;
+  int64_t order_date = 0;
+  const char* order_priority = kPriorities[0];
+  size_t lines_left = 0;
+  for (size_t i = 0; i < config.lineorder_rows; ++i) {
+    if (lines_left == 0) {
+      ++orderkey;
+      lines_left = 1 + rng.NextBounded(
+                           static_cast<uint64_t>(2 * config.lines_per_order - 1));
+      order_custkey = static_cast<int64_t>(rng.NextBounded(config.customers));
+      order_date = RandomDate(&rng);
+      order_priority = kPriorities[rng.NextBounded(5)];
+    }
+    --lines_left;
+    const double quantity = 1.0 + static_cast<double>(rng.NextBounded(50));
+    const double price = quantity * (900.0 + rng.NextDouble() * 1200.0) / 10.0;
+    lineorder.AddRow(
+        {Value::Int64(orderkey), Value::Int64(order_custkey),
+         Value::Int64(static_cast<int64_t>(rng.NextZipf(config.parts, 0.6))),
+         Value::Int64(static_cast<int64_t>(rng.NextBounded(config.suppliers))),
+         Value::Int64(order_date), Value::String(order_priority),
+         Value::String(kShipModes[rng.NextBounded(5)]), Value::Double(quantity),
+         Value::Double(price), Value::Double(rng.NextBounded(11) / 100.0),
+         Value::Double(rng.NextBounded(9) / 100.0),
+         Value::Int64(RandomDate(&rng)),
+         Value::String(kReturnFlags[rng.NextBounded(3)]),
+         Value::String(kLineStatus[rng.NextBounded(2)])});
+  }
+
+  IOLAP_RETURN_IF_ERROR(catalog->RegisterTable(
+      "lineorder", std::move(lineorder), streamed_table == "lineorder"));
+  IOLAP_RETURN_IF_ERROR(catalog->RegisterTable(
+      "partsupp", std::move(partsupp), streamed_table == "partsupp"));
+  IOLAP_RETURN_IF_ERROR(catalog->RegisterTable(
+      "customer", std::move(customer), streamed_table == "customer"));
+  IOLAP_RETURN_IF_ERROR(catalog->RegisterTable("part", std::move(part), false));
+  IOLAP_RETURN_IF_ERROR(
+      catalog->RegisterTable("supplier", std::move(supplier), false));
+  IOLAP_RETURN_IF_ERROR(
+      catalog->RegisterTable("nation", std::move(nation), false));
+  IOLAP_RETURN_IF_ERROR(
+      catalog->RegisterTable("region", std::move(region), false));
+  if (!catalog->Has(streamed_table)) {
+    return Status::InvalidArgument("unknown streamed table: " + streamed_table);
+  }
+  return catalog;
+}
+
+}  // namespace iolap

@@ -1,0 +1,31 @@
+#ifndef IOLAP_WORKLOADS_TPCH_QUERIES_H_
+#define IOLAP_WORKLOADS_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace iolap {
+
+/// One benchmark query: paper id, SQL text (our supported subset), the
+/// relation to stream, and whether the paper classifies it as a complex
+/// nested-aggregate query (Fig. 8 splits plots by this).
+struct BenchQuery {
+  std::string id;
+  std::string sql;
+  std::string streamed_table;
+  bool nested = false;
+};
+
+/// The paper's TPC-H selection (§8): all nested-subquery queries (Q11, Q17,
+/// Q18, Q20, Q22) plus a representative set of simple SPJA queries (Q1, Q3,
+/// Q5, Q6, Q7), adapted to the denormalized lineorder schema and the
+/// supported SQL subset. Constants are tuned to the TpchConfig defaults so
+/// selectivities resemble the originals.
+std::vector<BenchQuery> TpchQueries();
+
+/// Looks up a query by id ("q1".."q22"); empty sql if unknown.
+BenchQuery FindTpchQuery(const std::string& id);
+
+}  // namespace iolap
+
+#endif  // IOLAP_WORKLOADS_TPCH_QUERIES_H_

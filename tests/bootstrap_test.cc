@@ -1,0 +1,288 @@
+// Unit tests for the bootstrap layer: poissonized multiplicities, trial
+// accumulators, error estimates, and variation-range tracking with
+// decision constraints.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bootstrap/error_estimate.h"
+#include "bootstrap/poisson_multiplicities.h"
+#include "bootstrap/trial_accumulator.h"
+#include "bootstrap/variation_range.h"
+#include "core/aggregate.h"
+
+namespace iolap {
+namespace {
+
+TEST(BootstrapWeightsTest, DeterministicPerRowAndTrial) {
+  BootstrapWeights a(7, 50);
+  BootstrapWeights b(7, 50);
+  for (uint64_t uid : {0ull, 5ull, 999ull}) {
+    for (int t = 0; t < 50; ++t) {
+      EXPECT_EQ(a.WeightAt(uid, t), b.WeightAt(uid, t));
+    }
+  }
+}
+
+TEST(BootstrapWeightsTest, DifferentSeedsDiffer) {
+  BootstrapWeights a(1, 100);
+  BootstrapWeights b(2, 100);
+  int diffs = 0;
+  for (int t = 0; t < 100; ++t) {
+    diffs += a.WeightAt(42, t) != b.WeightAt(42, t);
+  }
+  EXPECT_GT(diffs, 10);
+}
+
+TEST(BootstrapWeightsTest, MeanAndVarianceNearOne) {
+  BootstrapWeights weights(3, 1);
+  double sum = 0, sumsq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const int w = weights.WeightAt(static_cast<uint64_t>(i), 0);
+    sum += w;
+    sumsq += static_cast<double>(w) * w;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0, 0.02);
+  EXPECT_NEAR(sumsq / n - mean * mean, 1.0, 0.03);
+}
+
+TEST(BootstrapWeightsTest, RowOverheadMatchesTrials) {
+  EXPECT_EQ(BootstrapWeights(0, 64).RowOverheadBytes(), 64u);
+}
+
+// ------------------------------------------------- TrialAccumulatorSet
+
+TEST(TrialAccumulatorTest, MainAndTrialsIndependent) {
+  auto fn = MakeBuiltinAggFunction(AggKind::kSum);
+  TrialAccumulatorSet acc(*fn, 3);
+  const int weights[3] = {0, 1, 2};
+  acc.Add(Value::Double(10), 1.0, weights);
+  EXPECT_DOUBLE_EQ(acc.MainResult(1.0).AsDouble(), 10.0);
+  const auto trials = acc.TrialResults(1.0);
+  ASSERT_EQ(trials.size(), 3u);
+  EXPECT_DOUBLE_EQ(trials[0], 10.0);  // empty trial falls back to main
+  EXPECT_DOUBLE_EQ(trials[1], 10.0);
+  EXPECT_DOUBLE_EQ(trials[2], 20.0);
+}
+
+TEST(TrialAccumulatorTest, NullTrialWeightsMeanUniform) {
+  auto fn = MakeBuiltinAggFunction(AggKind::kCount);
+  TrialAccumulatorSet acc(*fn, 2);
+  acc.Add(Value::Int64(1), 2.0, nullptr);
+  for (double t : acc.TrialResults(1.0)) EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(TrialAccumulatorTest, AddPerTrialUsesTrialValues) {
+  auto fn = MakeBuiltinAggFunction(AggKind::kAvg);
+  TrialAccumulatorSet acc(*fn, 2);
+  // main value 10; trial replicas 8 and 12.
+  acc.AddPerTrial({Value::Double(10), Value::Double(8), Value::Double(12)},
+                  1.0, nullptr);
+  EXPECT_DOUBLE_EQ(acc.MainResult(1.0).AsDouble(), 10.0);
+  const auto trials = acc.TrialResults(1.0);
+  EXPECT_DOUBLE_EQ(trials[0], 8.0);
+  EXPECT_DOUBLE_EQ(trials[1], 12.0);
+}
+
+TEST(TrialAccumulatorTest, AddMainOnlyAndTrialOnly) {
+  auto fn = MakeBuiltinAggFunction(AggKind::kSum);
+  TrialAccumulatorSet acc(*fn, 2);
+  acc.AddMainOnly(Value::Double(5), 1.0);
+  acc.AddTrialOnly(1, Value::Double(7), 1.0);
+  EXPECT_DOUBLE_EQ(acc.MainResult(1.0).AsDouble(), 5.0);
+  const auto trials = acc.TrialResults(1.0);
+  EXPECT_DOUBLE_EQ(trials[0], 5.0);  // empty -> main fallback
+  EXPECT_DOUBLE_EQ(trials[1], 7.0);
+}
+
+TEST(TrialAccumulatorTest, CloneAndMerge) {
+  auto fn = MakeBuiltinAggFunction(AggKind::kSum);
+  TrialAccumulatorSet a(*fn, 2);
+  const int w[2] = {1, 1};
+  a.Add(Value::Double(1), 1.0, w);
+  TrialAccumulatorSet b = a.Clone();
+  b.Add(Value::Double(2), 1.0, w);
+  EXPECT_DOUBLE_EQ(a.MainResult(1.0).AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(b.MainResult(1.0).AsDouble(), 3.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.MainResult(1.0).AsDouble(), 4.0);
+  EXPECT_GT(a.ByteSize(), 0u);
+}
+
+// ------------------------------------------------------ ErrorEstimate
+
+TEST(ErrorEstimateTest, DegenerateWithFewTrials) {
+  const ErrorEstimate est = EstimateError(5.0, {});
+  EXPECT_DOUBLE_EQ(est.value, 5.0);
+  EXPECT_DOUBLE_EQ(est.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(est.ci_lo, 5.0);
+  EXPECT_DOUBLE_EQ(est.ci_hi, 5.0);
+}
+
+TEST(ErrorEstimateTest, StddevAndCi) {
+  std::vector<double> trials;
+  for (int i = 0; i < 101; ++i) trials.push_back(90.0 + 0.2 * i);  // 90..110
+  const ErrorEstimate est = EstimateError(100.0, trials);
+  EXPECT_NEAR(est.stddev, 5.87, 0.1);
+  EXPECT_NEAR(est.rel_stddev, 0.0587, 0.001);
+  EXPECT_NEAR(est.ci_lo, 90.5, 0.2);   // 2.5th percentile
+  EXPECT_NEAR(est.ci_hi, 109.5, 0.2);  // 97.5th percentile
+  EXPECT_FALSE(est.ToString().empty());
+}
+
+TEST(ErrorEstimateTest, RelStddevOfZeroValue) {
+  const ErrorEstimate est = EstimateError(0.0, {-1.0, 1.0});
+  EXPECT_GT(est.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(est.rel_stddev, est.stddev);
+}
+
+TEST(ErrorEstimateTest, AnalyticEstimate) {
+  const ErrorEstimate est = AnalyticEstimate(100.0, 400.0, 100.0);
+  EXPECT_NEAR(est.stddev, 2.0, 1e-9);
+  EXPECT_NEAR(est.ci_lo, 100 - 3.92, 0.01);
+  EXPECT_NEAR(est.ci_hi, 100 + 3.92, 0.01);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(AnalyticEstimate(5, -1, 10).stddev, 0.0);
+  EXPECT_DOUBLE_EQ(AnalyticEstimate(5, 4, 1).stddev, 0.0);
+}
+
+// -------------------------------------------------- VariationRangeTracker
+
+TEST(VariationRangeTest, UnboundedBeforeFirstUpdate) {
+  VariationRangeTracker tracker(2.0);
+  EXPECT_TRUE(tracker.current().IsUnbounded());
+}
+
+TEST(VariationRangeTest, FirstUpdateSetsPaddedEnvelope) {
+  VariationRangeTracker tracker(2.0);
+  ASSERT_TRUE(tracker.Update(10.0, {8.0, 10.0, 12.0}).ok);
+  const Interval r = tracker.current();
+  const double sd = 2.0;  // stddev of {8,10,12}
+  EXPECT_NEAR(r.lo, 8.0 - 2.0 * sd, 1e-9);
+  EXPECT_NEAR(r.hi, 12.0 + 2.0 * sd, 1e-9);
+}
+
+TEST(VariationRangeTest, UnconstrainedValuesNeverFail) {
+  VariationRangeTracker tracker(2.0);
+  ASSERT_TRUE(tracker.Update(10.0, {9, 10, 11}).ok);
+  // Wild excursions are fine while nothing depends on the range.
+  ASSERT_TRUE(tracker.Update(1000.0, {900, 1000, 1100}).ok);
+  ASSERT_TRUE(tracker.Update(-50.0, {-60, -50, -40}).ok);
+  EXPECT_EQ(tracker.num_batches(), 3);
+}
+
+TEST(VariationRangeTest, ConstraintViolationFails) {
+  VariationRangeTracker tracker(2.0);
+  ASSERT_TRUE(tracker.Update(10.0, {9, 10, 11}).ok);
+  tracker.ConstrainUpper(20.0);  // a pruning decision needs v <= 20
+  ASSERT_TRUE(tracker.Update(12.0, {11, 12, 13}).ok);
+  const auto result = tracker.Update(25.0, {24, 25, 26});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(VariationRangeTest, LowerConstraint) {
+  VariationRangeTracker tracker(1.0);
+  ASSERT_TRUE(tracker.Update(100.0, {95, 100, 105}).ok);
+  tracker.ConstrainLower(50.0);
+  ASSERT_TRUE(tracker.Update(80.0, {75, 80, 85}).ok);
+  EXPECT_FALSE(tracker.Update(40.0, {35, 40, 45}).ok);
+}
+
+TEST(VariationRangeTest, DecayingValueWithUpperConstraintOnlyIsFine) {
+  // The q18 scenario: a scaled per-group SUM decays towards its true value
+  // after the group is fully seen. A decided-false comparison only bounds
+  // it from above, so the decay never violates anything.
+  VariationRangeTracker tracker(2.0);
+  double value = 100.0;
+  ASSERT_TRUE(tracker.Update(value, {80, 100, 120}).ok);
+  tracker.ConstrainUpper(200.0);
+  for (int b = 1; b <= 20; ++b) {
+    value *= 0.9;
+    ASSERT_TRUE(
+        tracker.Update(value, {value * 0.8, value, value * 1.2}).ok)
+        << "batch " << b;
+  }
+}
+
+TEST(VariationRangeTest, FailureReportsLastConsistentBatch) {
+  VariationRangeTracker tracker(0.0);
+  ASSERT_TRUE(tracker.Update(10, {10}).ok);      // batch 0: no constraints
+  tracker.ConstrainUpper(100.0);                 // loose constraint
+  ASSERT_TRUE(tracker.Update(11, {11}).ok);      // batch 1
+  tracker.ConstrainUpper(15.0);                  // tight constraint
+  ASSERT_TRUE(tracker.Update(12, {12}).ok);      // batch 2
+  const auto result = tracker.Update(50, {50});  // violates <=15 and <=100...
+  ASSERT_FALSE(result.ok);
+  // 50 violates both constraints; only batch 0 (unconstrained) contains it.
+  EXPECT_EQ(result.last_consistent_batch, 0);
+}
+
+TEST(VariationRangeTest, FailureWalksToLooserConstraint) {
+  // Engine call order: the block publishes batch b (Update), then
+  // downstream classifications of batch b register their constraints —
+  // so a constraint belongs to the snapshot of the batch whose decisions
+  // created it, and rolling back to the previous batch undoes it.
+  VariationRangeTracker tracker(0.0);
+  ASSERT_TRUE(tracker.Update(10, {10}).ok);  // batch 0 published
+  tracker.ConstrainUpper(100.0);             // decision during batch 0
+  ASSERT_TRUE(tracker.Update(11, {11}).ok);  // batch 1 published
+  tracker.ConstrainUpper(15.0);              // decision during batch 1
+  ASSERT_TRUE(tracker.Update(12, {12}).ok);  // batch 2
+  const auto result = tracker.Update(30, {30});
+  ASSERT_FALSE(result.ok);
+  // 30 violates the batch-1 decision (<=15) but honours batch 0 (<=100):
+  // recovery lands on batch 0, undoing the batch-1 decision.
+  EXPECT_EQ(result.last_consistent_batch, 0);
+}
+
+TEST(VariationRangeTest, RecoverRestoresConstraintsAndFreezes) {
+  VariationRangeTracker tracker(2.0);
+  ASSERT_TRUE(tracker.Update(10, {9, 10, 11}).ok);
+  ASSERT_TRUE(tracker.Update(10, {9, 10, 11}).ok);
+  tracker.ConstrainUpper(12.0);
+  ASSERT_FALSE(tracker.Update(20, {19, 20, 21}).ok);
+  tracker.RecoverTo(0, /*freeze_updates=*/2);
+  EXPECT_EQ(tracker.num_batches(), 1);
+  // During the freeze the classification range is just the recovered
+  // constraints — unbounded below here.
+  EXPECT_TRUE(std::isinf(tracker.current().lo));
+  // Replay: updates within the frozen window append without narrowing.
+  ASSERT_TRUE(tracker.Update(20, {19, 20, 21}).ok);
+  EXPECT_TRUE(std::isinf(tracker.current().lo));
+  ASSERT_TRUE(tracker.Update(20, {19, 20, 21}).ok);
+  // Freeze expired: the padded envelope returns.
+  ASSERT_TRUE(tracker.Update(20, {19, 20, 21}).ok);
+  EXPECT_FALSE(std::isinf(tracker.current().lo));
+}
+
+TEST(VariationRangeTest, RecoverToScratch) {
+  VariationRangeTracker tracker(2.0);
+  tracker.ConstrainUpper(5.0);
+  ASSERT_TRUE(tracker.Update(4, {4}).ok);
+  tracker.RecoverTo(-1, 0);
+  EXPECT_EQ(tracker.num_batches(), 0);
+  EXPECT_TRUE(tracker.current().IsUnbounded());
+  // Constraints were cleared: large values pass again.
+  EXPECT_TRUE(tracker.Update(100, {100}).ok);
+}
+
+TEST(VariationRangeTest, CurrentIntersectsConstraints) {
+  VariationRangeTracker tracker(2.0);
+  ASSERT_TRUE(tracker.Update(10.0, {8, 10, 12}).ok);
+  tracker.ConstrainUpper(11.0);
+  const Interval r = tracker.current();
+  EXPECT_DOUBLE_EQ(r.hi, 11.0);
+}
+
+TEST(VariationRangeTest, ZeroSlackIsBareEnvelope) {
+  VariationRangeTracker tracker(0.0);
+  ASSERT_TRUE(tracker.Update(10.0, {8, 10, 12}).ok);
+  EXPECT_DOUBLE_EQ(tracker.current().lo, 8.0);
+  EXPECT_DOUBLE_EQ(tracker.current().hi, 12.0);
+}
+
+}  // namespace
+}  // namespace iolap

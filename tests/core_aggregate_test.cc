@@ -1,0 +1,180 @@
+// Unit tests for aggregate accumulators, scaling, merging and UDAFs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aggregate.h"
+#include "core/function_registry.h"
+
+namespace iolap {
+namespace {
+
+std::unique_ptr<AggAccumulator> NewAcc(AggKind kind) {
+  return MakeBuiltinAggFunction(kind)->NewAccumulator();
+}
+
+TEST(AggregateTest, CountScalesWithMultiplicity) {
+  auto acc = NewAcc(AggKind::kCount);
+  acc->Add(Value::Int64(1), 1.0);
+  acc->Add(Value::Int64(2), 2.0);  // weight 2 = seen "twice"
+  EXPECT_DOUBLE_EQ(acc->Result(1.0).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(acc->Result(10.0).AsDouble(), 30.0);
+}
+
+TEST(AggregateTest, CountIgnoresNull) {
+  auto acc = NewAcc(AggKind::kCount);
+  acc->Add(Value::Null(), 1.0);
+  acc->Add(Value::Int64(5), 1.0);
+  EXPECT_DOUBLE_EQ(acc->Result(1.0).AsDouble(), 1.0);
+}
+
+TEST(AggregateTest, SumScalesAvgDoesNot) {
+  auto sum = NewAcc(AggKind::kSum);
+  auto avg = NewAcc(AggKind::kAvg);
+  for (int x : {10, 20, 30}) {
+    sum->Add(Value::Int64(x), 1.0);
+    avg->Add(Value::Int64(x), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(sum->Result(2.0).AsDouble(), 120.0);
+  EXPECT_DOUBLE_EQ(avg->Result(2.0).AsDouble(), 20.0);  // ratio: scale cancels
+}
+
+TEST(AggregateTest, EmptySumAndAvgAreNull) {
+  EXPECT_TRUE(NewAcc(AggKind::kSum)->Result(1.0).is_null());
+  EXPECT_TRUE(NewAcc(AggKind::kAvg)->Result(1.0).is_null());
+  EXPECT_DOUBLE_EQ(NewAcc(AggKind::kCount)->Result(1.0).AsDouble(), 0.0);
+}
+
+TEST(AggregateTest, MinMax) {
+  auto mn = NewAcc(AggKind::kMin);
+  auto mx = NewAcc(AggKind::kMax);
+  for (int x : {5, -3, 9}) {
+    mn->Add(Value::Int64(x), 1.0);
+    mx->Add(Value::Int64(x), 1.0);
+  }
+  EXPECT_EQ(mn->Result(1.0).int64(), -3);
+  EXPECT_EQ(mx->Result(1.0).int64(), 9);
+}
+
+TEST(AggregateTest, MinMaxNotSampleable) {
+  EXPECT_FALSE(MakeBuiltinAggFunction(AggKind::kMin)->SupportsSampling());
+  EXPECT_FALSE(MakeBuiltinAggFunction(AggKind::kMax)->SupportsSampling());
+  EXPECT_TRUE(MakeBuiltinAggFunction(AggKind::kAvg)->SupportsSampling());
+}
+
+TEST(AggregateTest, VarianceAndStddev) {
+  auto var = NewAcc(AggKind::kVar);
+  auto sd = NewAcc(AggKind::kStddev);
+  for (int x : {2, 4, 4, 4, 5, 5, 7, 9}) {
+    var->Add(Value::Int64(x), 1.0);
+    sd->Add(Value::Int64(x), 1.0);
+  }
+  EXPECT_NEAR(var->Result(1.0).AsDouble(), 4.0, 1e-9);
+  EXPECT_NEAR(sd->Result(1.0).AsDouble(), 2.0, 1e-9);
+}
+
+TEST(AggregateTest, MergeEqualsSequential) {
+  auto a = NewAcc(AggKind::kAvg);
+  auto b = NewAcc(AggKind::kAvg);
+  auto whole = NewAcc(AggKind::kAvg);
+  for (int x = 0; x < 10; ++x) {
+    (x % 2 == 0 ? a : b)->Add(Value::Int64(x), 1.0);
+    whole->Add(Value::Int64(x), 1.0);
+  }
+  a->Merge(*b);
+  EXPECT_DOUBLE_EQ(a->Result(1.0).AsDouble(), whole->Result(1.0).AsDouble());
+}
+
+TEST(AggregateTest, CloneIsIndependent) {
+  auto acc = NewAcc(AggKind::kSum);
+  acc->Add(Value::Int64(10), 1.0);
+  auto copy = acc->Clone();
+  copy->Add(Value::Int64(5), 1.0);
+  EXPECT_DOUBLE_EQ(acc->Result(1.0).AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(copy->Result(1.0).AsDouble(), 15.0);
+}
+
+TEST(AggregateTest, ByteSizeIsSmall) {
+  // Sketch states must be sub-linear: a handful of doubles.
+  EXPECT_LE(NewAcc(AggKind::kAvg)->ByteSize(), 64u);
+  EXPECT_LE(NewAcc(AggKind::kVar)->ByteSize(), 64u);
+}
+
+TEST(AggregateTest, KindFromName) {
+  EXPECT_EQ(AggKindFromName("sum"), AggKind::kSum);
+  EXPECT_EQ(AggKindFromName("stddev"), AggKind::kStddev);
+  EXPECT_EQ(AggKindFromName("geomean"), AggKind::kUdaf);
+}
+
+class UdafTest : public ::testing::Test {
+ protected:
+  UdafTest() : registry_(FunctionRegistry::Default()) {}
+
+  std::unique_ptr<AggAccumulator> NewUdaf(const std::string& name) {
+    auto fn = registry_->FindAggregate(name);
+    EXPECT_TRUE(fn.ok()) << name;
+    return (*fn)->NewAccumulator();
+  }
+
+  std::shared_ptr<FunctionRegistry> registry_;
+};
+
+TEST_F(UdafTest, Geomean) {
+  auto acc = NewUdaf("geomean");
+  acc->Add(Value::Double(2.0), 1.0);
+  acc->Add(Value::Double(8.0), 1.0);
+  EXPECT_NEAR(acc->Result(1.0).AsDouble(), 4.0, 1e-9);
+  // Non-positive values are skipped, not poisoned.
+  acc->Add(Value::Double(-1.0), 1.0);
+  EXPECT_NEAR(acc->Result(1.0).AsDouble(), 4.0, 1e-9);
+}
+
+TEST_F(UdafTest, HarmonicMean) {
+  auto acc = NewUdaf("harmonic_mean");
+  acc->Add(Value::Double(1.0), 1.0);
+  acc->Add(Value::Double(2.0), 1.0);
+  EXPECT_NEAR(acc->Result(1.0).AsDouble(), 4.0 / 3.0, 1e-9);
+}
+
+TEST_F(UdafTest, Rms) {
+  auto acc = NewUdaf("rms");
+  acc->Add(Value::Double(3.0), 1.0);
+  acc->Add(Value::Double(4.0), 1.0);
+  EXPECT_NEAR(acc->Result(1.0).AsDouble(), std::sqrt(12.5), 1e-9);
+}
+
+TEST_F(UdafTest, UdafsAreSmooth) {
+  for (const char* name : {"geomean", "harmonic_mean", "rms"}) {
+    auto fn = registry_->FindAggregate(name);
+    ASSERT_TRUE(fn.ok());
+    EXPECT_TRUE((*fn)->SupportsSampling()) << name;
+  }
+}
+
+TEST_F(UdafTest, UdafMergeAndClone) {
+  auto a = NewUdaf("rms");
+  a->Add(Value::Double(3.0), 1.0);
+  auto b = NewUdaf("rms");
+  b->Add(Value::Double(4.0), 1.0);
+  auto c = a->Clone();
+  c->Merge(*b);
+  EXPECT_NEAR(c->Result(1.0).AsDouble(), std::sqrt(12.5), 1e-9);
+  EXPECT_NEAR(a->Result(1.0).AsDouble(), 3.0, 1e-9);  // a untouched
+}
+
+TEST_F(UdafTest, WeightedUdaf) {
+  // A bootstrap trial weighting of 2 must equal adding the value twice.
+  auto weighted = NewUdaf("geomean");
+  weighted->Add(Value::Double(2.0), 2.0);
+  weighted->Add(Value::Double(8.0), 1.0);
+  auto repeated = NewUdaf("geomean");
+  repeated->Add(Value::Double(2.0), 1.0);
+  repeated->Add(Value::Double(2.0), 1.0);
+  repeated->Add(Value::Double(8.0), 1.0);
+  EXPECT_NEAR(weighted->Result(1.0).AsDouble(),
+              repeated->Result(1.0).AsDouble(), 1e-9);
+}
+
+}  // namespace
+}  // namespace iolap

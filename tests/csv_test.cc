@@ -1,0 +1,112 @@
+// Unit tests for the CSV reader/writer: type inference, quoting, nulls,
+// file round trips, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "catalog/csv.h"
+
+namespace iolap {
+namespace {
+
+TEST(CsvTest, HeaderAndTypeInference) {
+  auto table = ReadCsv("id,score,name\n1,2.5,alice\n2,3,bob\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->schema().num_columns(), 3u);
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kInt64);
+  EXPECT_EQ(table->schema().column(1).type, ValueType::kDouble);
+  EXPECT_EQ(table->schema().column(2).type, ValueType::kString);
+  ASSERT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->row(0)[0].int64(), 1);
+  EXPECT_DOUBLE_EQ(table->row(0)[1].dbl(), 2.5);
+  EXPECT_EQ(table->row(1)[2].str(), "bob");
+}
+
+TEST(CsvTest, IntColumnWithDecimalBecomesDouble) {
+  auto table = ReadCsv("x\n1\n2.5\n3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(table->row(0)[0].dbl(), 1.0);
+}
+
+TEST(CsvTest, NoHeaderGeneratesNames) {
+  CsvOptions options;
+  options.header = false;
+  auto table = ReadCsv("1,2\n3,4\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().column(0).name, "c0");
+  EXPECT_EQ(table->schema().column(1).name, "c1");
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto table = ReadCsv("a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->row(0)[0].str(), "hello, world");
+  EXPECT_EQ(table->row(0)[1].str(), "say \"hi\"");
+}
+
+TEST(CsvTest, NullTokensAndEmptyFields) {
+  auto table = ReadCsv("x,y\n1,NULL\n,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->row(0)[1].is_null());
+  EXPECT_TRUE(table->row(1)[0].is_null());
+  EXPECT_EQ(table->row(1)[1].int64(), 2);
+}
+
+TEST(CsvTest, CrlfAndBlankLines) {
+  auto table = ReadCsv("a\r\n1\r\n\r\n2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = '\t';
+  auto table = ReadCsv("a\tb\n1\t2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->row(0)[1].int64(), 2);
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(ReadCsv("").ok());
+  EXPECT_FALSE(ReadCsv("a,b\n1\n").ok());             // field count mismatch
+  EXPECT_FALSE(ReadCsv("a\n\"unterminated\n").ok());  // quote
+  // Type violation past the inference window.
+  CsvOptions options;
+  options.type_inference_rows = 1;
+  EXPECT_FALSE(ReadCsv("x\n1\nnot_a_number\n", options).ok());
+  EXPECT_FALSE(ReadCsvFile("/no/such/file.csv").ok());
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  auto table = ReadCsv(
+      "id,note,v\n1,\"a, quoted\",2.5\n2,NULL,3.25\n");
+  ASSERT_TRUE(table.ok());
+  const std::string out = WriteCsv(*table);
+  auto again = ReadCsv(out);
+  ASSERT_TRUE(again.ok()) << again.status() << "\n" << out;
+  ASSERT_EQ(again->num_rows(), table->num_rows());
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_TRUE(again->row(r)[c].Equals(table->row(r)[c]))
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table table(Schema({{"k", ValueType::kInt64}, {"s", ValueType::kString}}));
+  table.AddRow({Value::Int64(7), Value::String("x")});
+  const std::string path = ::testing::TempDir() + "/iolap_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_rows(), 1u);
+  EXPECT_EQ(loaded->row(0)[0].int64(), 7);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace iolap

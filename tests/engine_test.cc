@@ -1,0 +1,579 @@
+// Integration tests of the incremental delta engine against the reference
+// evaluator: Theorem 1 says every partial result must equal the direct
+// evaluation Q(D_i, m_i). These are differential tests over a spread of
+// query shapes, execution modes and seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/catalog.h"
+#include "common/random.h"
+#include "exec/reference.h"
+#include "iolap/query_controller.h"
+#include "plan/plan_builder.h"
+
+namespace iolap {
+namespace {
+
+constexpr double kTol = 1e-7;
+
+// Compares two result tables cell by cell with numeric tolerance.
+void ExpectTablesEqual(const Table& actual, const Table& expected,
+                       const std::string& context) {
+  ASSERT_EQ(actual.num_rows(), expected.num_rows()) << context;
+  for (size_t r = 0; r < actual.num_rows(); ++r) {
+    ASSERT_EQ(actual.row(r).size(), expected.row(r).size()) << context;
+    for (size_t c = 0; c < actual.row(r).size(); ++c) {
+      const Value& a = actual.row(r)[c];
+      const Value& e = expected.row(r)[c];
+      if (a.is_numeric() && e.is_numeric()) {
+        const double av = a.AsDouble();
+        const double ev = e.AsDouble();
+        const double tol = kTol * std::max(1.0, std::fabs(ev));
+        EXPECT_NEAR(av, ev, tol)
+            << context << " row " << r << " col " << c;
+      } else {
+        EXPECT_TRUE(a.Equals(e))
+            << context << " row " << r << " col " << c << ": "
+            << a.ToString() << " vs " << e.ToString();
+      }
+    }
+  }
+}
+
+// Builds a synthetic sessions fact table plus a small sites dimension.
+void FillCatalog(Catalog* catalog, size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table sessions(Schema({{"sessions.session_id", ValueType::kInt64},
+                         {"sessions.buffer_time", ValueType::kDouble},
+                         {"sessions.play_time", ValueType::kDouble},
+                         {"sessions.site", ValueType::kInt64}}));
+  for (size_t i = 0; i < rows; ++i) {
+    sessions.AddRow({Value::Int64(static_cast<int64_t>(i)),
+                     Value::Double(5.0 + 60.0 * rng.NextDouble()),
+                     Value::Double(30.0 + 600.0 * rng.NextDouble()),
+                     Value::Int64(static_cast<int64_t>(rng.NextZipf(8, 0.8)))});
+  }
+  ASSERT_TRUE(
+      catalog->RegisterTable("sessions", std::move(sessions), true).ok());
+
+  Table sites(Schema({{"sites.site", ValueType::kInt64},
+                      {"sites.region", ValueType::kString},
+                      {"sites.weight", ValueType::kDouble}}));
+  const char* regions[] = {"us", "eu", "apac", "latam"};
+  for (int s = 0; s < 8; ++s) {
+    sites.AddRow({Value::Int64(s), Value::String(regions[s % 4]),
+                  Value::Double(1.0 + s * 0.25)});
+  }
+  ASSERT_TRUE(catalog->RegisterTable("sites", std::move(sites)).ok());
+}
+
+enum class QueryShape {
+  kSimpleSpja,       // deterministic filter + global aggregates
+  kGroupedSpja,      // join with dimension + group-by
+  kSbi,              // scalar nested subquery in WHERE (Example 1)
+  kCorrelated,       // per-group subquery compared per row (Q17 shape)
+  kJoinAggregates,   // join of the fact with an aggregate relation
+  kHavingTop,        // group-by + HAVING vs scalar subquery (Q11 shape)
+  kUncertainAggArg,  // aggregate over an uncertain attribute
+};
+
+Result<QueryPlan> BuildQuery(QueryShape shape, const Catalog& catalog,
+                             std::shared_ptr<FunctionRegistry> functions) {
+  PlanBuilder pb(&catalog, functions);
+  switch (shape) {
+    case QueryShape::kSimpleSpja: {
+      auto& b = pb.NewBlock("simple");
+      b.Scan("sessions")
+          .Filter(Gt(b.ColRef("buffer_time"), Lit(20.0)))
+          .Agg("sum", b.ColRef("play_time"), "total_play")
+          .Agg("count", Lit(int64_t{1}), "n")
+          .Agg("avg", b.ColRef("buffer_time"), "avg_buffer");
+      break;
+    }
+    case QueryShape::kGroupedSpja: {
+      auto& b = pb.NewBlock("grouped");
+      b.Scan("sessions")
+          .Join("sites", {"sessions.site"}, {"sites.site"})
+          .Filter(Lt(b.ColRef("buffer_time"), Lit(50.0)))
+          .GroupBy("region")
+          .Agg("avg", Mul(b.ColRef("play_time"), b.ColRef("weight")),
+               "weighted_play")
+          .Agg("count", Lit(int64_t{1}), "n");
+      break;
+    }
+    case QueryShape::kSbi: {
+      auto& inner = pb.NewBlock("inner_avg");
+      inner.Scan("sessions").Agg("avg", inner.ColRef("buffer_time"), "avg_bt");
+      auto& outer = pb.NewBlock("sbi");
+      outer.Scan("sessions")
+          .Filter(Gt(outer.ColRef("buffer_time"),
+                     outer.SubqueryRef(inner.id(), "avg_bt")))
+          .Agg("avg", outer.ColRef("play_time"), "avg_play");
+      break;
+    }
+    case QueryShape::kCorrelated: {
+      auto& inner = pb.NewBlock("per_site_avg");
+      inner.Scan("sessions")
+          .GroupBy("site")
+          .Agg("avg", inner.ColRef("buffer_time"), "site_avg");
+      auto& outer = pb.NewBlock("outer");
+      outer.Scan("sessions")
+          .Filter(Lt(outer.ColRef("buffer_time"),
+                     Mul(Lit(0.9), outer.SubqueryRef(inner.id(), "site_avg",
+                                                     {outer.ColRef("site")}))))
+          .Agg("sum", outer.ColRef("play_time"), "short_buffer_play");
+      break;
+    }
+    case QueryShape::kJoinAggregates: {
+      auto& inner = pb.NewBlock("per_site_avg");
+      inner.Scan("sessions")
+          .GroupBy("site")
+          .Agg("avg", inner.ColRef("buffer_time"), "site_avg");
+      auto& outer = pb.NewBlock("joined");
+      outer.Scan("sessions")
+          .JoinBlock(inner.id(), {"sessions.site"}, {"site"})
+          .Filter(Gt(outer.ColRef("buffer_time"), outer.ColRef("site_avg")))
+          .Agg("count", Lit(int64_t{1}), "slow_sessions");
+      break;
+    }
+    case QueryShape::kHavingTop: {
+      auto& total = pb.NewBlock("grand_total");
+      total.Scan("sessions").Agg("sum", total.ColRef("play_time"), "total");
+      auto& per_site = pb.NewBlock("per_site");
+      per_site.Scan("sessions")
+          .GroupBy("site")
+          .Agg("sum", per_site.ColRef("play_time"), "site_total");
+      auto& top = pb.NewBlock("having_top");
+      top.ScanBlock(per_site.id())
+          .Filter(Gt(top.ColRef("site_total"),
+                     Mul(Lit(0.1), top.SubqueryRef(total.id(), "total"))))
+          .Project(top.ColRef("site"), "site")
+          .Project(top.ColRef("site_total"), "site_total");
+      break;
+    }
+    case QueryShape::kUncertainAggArg: {
+      auto& inner = pb.NewBlock("global_avg");
+      inner.Scan("sessions").Agg("avg", inner.ColRef("play_time"), "g");
+      auto& outer = pb.NewBlock("deviation");
+      outer.Scan("sessions").Agg(
+          "rms",
+          Sub(outer.ColRef("play_time"), outer.SubqueryRef(inner.id(), "g")),
+          "rms_dev");
+      break;
+    }
+  }
+  return pb.Build();
+}
+
+struct ModeConfig {
+  const char* name;
+  ExecutionMode mode;
+  bool opt1;
+  bool opt2;
+};
+
+constexpr ModeConfig kModes[] = {
+    {"iolap_full", ExecutionMode::kIolap, true, true},
+    {"iolap_opt1_only", ExecutionMode::kIolap, true, false},
+    {"iolap_conservative", ExecutionMode::kIolap, false, true},
+    {"hda", ExecutionMode::kHda, false, false},
+};
+
+constexpr QueryShape kShapes[] = {
+    QueryShape::kSimpleSpja,      QueryShape::kGroupedSpja,
+    QueryShape::kSbi,             QueryShape::kCorrelated,
+    QueryShape::kJoinAggregates,  QueryShape::kHavingTop,
+    QueryShape::kUncertainAggArg,
+};
+
+class DeltaEngineTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+// The central property: after every batch, the partial result equals the
+// direct evaluation of the query on the data seen so far (Theorem 1).
+TEST_P(DeltaEngineTest, PartialResultsMatchReference) {
+  const ModeConfig& mode = kModes[std::get<0>(GetParam())];
+  const QueryShape shape = kShapes[std::get<1>(GetParam())];
+
+  Catalog catalog;
+  FillCatalog(&catalog, 400, /*seed=*/17);
+  auto functions = FunctionRegistry::Default();
+  auto plan = BuildQuery(shape, catalog, functions);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  EngineOptions options;
+  options.mode = mode.mode;
+  options.tuple_partition = mode.opt1;
+  options.lazy_lineage = mode.opt2;
+  options.num_trials = 12;
+  options.num_batches = 10;
+  options.slack = 2.0;
+  options.seed = 5;
+  options.partition.block_rows = 16;
+
+  QueryController controller(&catalog, *plan, options);
+  ASSERT_TRUE(controller.Init().ok());
+
+  // Accumulate D_i as batches arrive and compare each partial result.
+  std::vector<Row> accumulated;
+  const Table& fact = *(*catalog.Find("sessions"))->table;
+  int batches_seen = 0;
+  Status run_status = controller.Run([&](const PartialResult& partial) {
+    for (uint64_t id : controller.layout().batches[partial.batch]) {
+      accumulated.push_back(fact.row(id));
+    }
+    const double scale =
+        static_cast<double>(fact.num_rows()) / accumulated.size();
+    auto expected =
+        EvaluateReference(*plan, catalog, accumulated, scale);
+    EXPECT_TRUE(expected.ok()) << expected.status();
+    ExpectTablesEqual(partial.rows, *expected,
+                      std::string(mode.name) + " batch " +
+                          std::to_string(partial.batch));
+    ++batches_seen;
+    return BatchAction::kContinue;
+  });
+  ASSERT_TRUE(run_status.ok()) << run_status;
+  EXPECT_EQ(batches_seen, 10);
+  // After the last batch the result is exact: fraction 1.
+  EXPECT_DOUBLE_EQ(controller.last_result().fraction_processed, 1.0);
+}
+
+std::string DeltaEngineTestName(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  static const char* shape_names[] = {
+      "SimpleSpja",     "GroupedSpja", "Sbi",           "Correlated",
+      "JoinAggregates", "HavingTop",   "UncertainAggArg"};
+  return std::string(kModes[std::get<0>(info.param)].name) + "_" +
+         shape_names[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndShapes, DeltaEngineTest,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 7)),
+    DeltaEngineTestName);
+
+// Zero slack forces variation-range integrity failures; recovery must keep
+// every partial result exact.
+TEST(DeltaEngineRecoveryTest, ZeroSlackStillExact) {
+  Catalog catalog;
+  FillCatalog(&catalog, 300, /*seed=*/23);
+  auto functions = FunctionRegistry::Default();
+  auto plan = BuildQuery(QueryShape::kSbi, catalog, functions);
+  ASSERT_TRUE(plan.ok());
+
+  EngineOptions options;
+  options.num_trials = 8;
+  options.num_batches = 12;
+  options.slack = 0.0;  // pathological: ranges are bare envelopes
+  options.seed = 3;
+
+  QueryController controller(&catalog, *plan, options);
+  ASSERT_TRUE(controller.Init().ok());
+
+  std::vector<Row> accumulated;
+  const Table& fact = *(*catalog.Find("sessions"))->table;
+  ASSERT_TRUE(controller
+                  .Run([&](const PartialResult& partial) {
+                    for (uint64_t id :
+                         controller.layout().batches[partial.batch]) {
+                      accumulated.push_back(fact.row(id));
+                    }
+                    const double scale = static_cast<double>(fact.num_rows()) /
+                                         accumulated.size();
+                    auto expected =
+                        EvaluateReference(*plan, catalog, accumulated, scale);
+                    EXPECT_TRUE(expected.ok());
+                    ExpectTablesEqual(partial.rows, *expected,
+                                      "slack0 batch " +
+                                          std::to_string(partial.batch));
+                    return BatchAction::kContinue;
+                  })
+                  .ok());
+  // With slack 0, at least one recovery is overwhelmingly likely.
+  EXPECT_GT(controller.metrics().TotalFailureRecoveries(), 0);
+}
+
+// Recovery with join states in play: rolling back must truncate join
+// caches and re-emit group rows consistently. Zero slack provokes
+// failures; exactness must hold on the join-of-aggregates shape.
+TEST(DeltaEngineRecoveryTest, ZeroSlackWithJoinsStillExact) {
+  Catalog catalog;
+  FillCatalog(&catalog, 400, /*seed=*/53);
+  auto functions = FunctionRegistry::Default();
+  for (QueryShape shape :
+       {QueryShape::kJoinAggregates, QueryShape::kCorrelated}) {
+    auto plan = BuildQuery(shape, catalog, functions);
+    ASSERT_TRUE(plan.ok());
+    EngineOptions options;
+    options.num_trials = 8;
+    options.num_batches = 10;
+    options.slack = 0.0;
+    options.seed = 17;
+    QueryController controller(&catalog, *plan, options);
+    ASSERT_TRUE(controller.Init().ok());
+    std::vector<Row> accumulated;
+    const Table& fact = *(*catalog.Find("sessions"))->table;
+    ASSERT_TRUE(controller
+                    .Run([&](const PartialResult& partial) {
+                      for (uint64_t id :
+                           controller.layout().batches[partial.batch]) {
+                        accumulated.push_back(fact.row(id));
+                      }
+                      const double scale =
+                          static_cast<double>(fact.num_rows()) /
+                          accumulated.size();
+                      auto expected = EvaluateReference(*plan, catalog,
+                                                        accumulated, scale);
+                      EXPECT_TRUE(expected.ok());
+                      ExpectTablesEqual(partial.rows, *expected,
+                                        "join recovery batch " +
+                                            std::to_string(partial.batch));
+                      return BatchAction::kContinue;
+                    })
+                    .ok());
+  }
+}
+
+// Property sweep: random seeds / batch counts on the SBI query, full mode.
+class SeedSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweepTest, SbiExactAcrossSeeds) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Catalog catalog;
+  FillCatalog(&catalog, 250, seed * 31 + 7);
+  auto functions = FunctionRegistry::Default();
+  auto plan = BuildQuery(QueryShape::kSbi, catalog, functions);
+  ASSERT_TRUE(plan.ok());
+
+  EngineOptions options;
+  options.num_trials = 10;
+  options.num_batches = 3 + static_cast<size_t>(seed % 9);
+  options.slack = 1.0 + 0.25 * static_cast<double>(seed % 5);
+  options.seed = seed;
+
+  QueryController controller(&catalog, *plan, options);
+  ASSERT_TRUE(controller.Init().ok());
+
+  std::vector<Row> accumulated;
+  const Table& fact = *(*catalog.Find("sessions"))->table;
+  ASSERT_TRUE(controller
+                  .Run([&](const PartialResult& partial) {
+                    for (uint64_t id :
+                         controller.layout().batches[partial.batch]) {
+                      accumulated.push_back(fact.row(id));
+                    }
+                    const double scale = static_cast<double>(fact.num_rows()) /
+                                         accumulated.size();
+                    auto expected =
+                        EvaluateReference(*plan, catalog, accumulated, scale);
+                    EXPECT_TRUE(expected.ok());
+                    ExpectTablesEqual(partial.rows, *expected,
+                                      "seed " + std::to_string(seed));
+                    return BatchAction::kContinue;
+                  })
+                  .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest, ::testing::Range(0, 12));
+
+// The baseline mode answers in a single batch and matches the full-data
+// reference exactly.
+TEST(BaselineTest, SingleExactBatch) {
+  Catalog catalog;
+  FillCatalog(&catalog, 200, 11);
+  auto functions = FunctionRegistry::Default();
+  auto plan = BuildQuery(QueryShape::kSbi, catalog, functions);
+  ASSERT_TRUE(plan.ok());
+
+  EngineOptions options;
+  options.mode = ExecutionMode::kBaseline;
+  QueryController controller(&catalog, *plan, options);
+  ASSERT_TRUE(controller.Init().ok());
+  ASSERT_TRUE(controller.Run(nullptr).ok());
+  EXPECT_EQ(controller.metrics().batches.size(), 1u);
+
+  const Table& fact = *(*catalog.Find("sessions"))->table;
+  auto expected = EvaluateReference(*plan, catalog, fact.rows(), 1.0);
+  ASSERT_TRUE(expected.ok());
+  ExpectTablesEqual(controller.last_result().rows, *expected, "baseline");
+}
+
+// Error estimates should shrink as more data is processed and the final
+// batch must report (near) zero spread.
+TEST(ErrorEstimateTest, ShrinksOverBatches) {
+  Catalog catalog;
+  FillCatalog(&catalog, 1000, 29);
+  auto functions = FunctionRegistry::Default();
+  auto plan = BuildQuery(QueryShape::kSimpleSpja, catalog, functions);
+  ASSERT_TRUE(plan.ok());
+
+  EngineOptions options;
+  options.num_trials = 40;
+  options.num_batches = 10;
+  options.seed = 7;
+
+  QueryController controller(&catalog, *plan, options);
+  ASSERT_TRUE(controller.Init().ok());
+  std::vector<double> rel_err;
+  ASSERT_TRUE(controller
+                  .Run([&](const PartialResult& partial) {
+                    // avg_buffer is column index 2 of the estimates row.
+                    rel_err.push_back(partial.estimates[0][2].rel_stddev);
+                    return BatchAction::kContinue;
+                  })
+                  .ok());
+  ASSERT_EQ(rel_err.size(), 10u);
+  EXPECT_LT(rel_err.back(), rel_err.front());
+}
+
+// Analytic (closed-form) error estimation: results stay exact at every
+// batch with zero bootstrap trials, classification still prunes, and the
+// estimates behave (positive mid-run, shrinking, zero at the end).
+TEST(AnalyticErrorTest, ExactResultsAndSaneEstimates) {
+  Catalog catalog;
+  FillCatalog(&catalog, 2000, 41);
+  auto functions = FunctionRegistry::Default();
+  auto plan = BuildQuery(QueryShape::kSbi, catalog, functions);
+  ASSERT_TRUE(plan.ok());
+
+  EngineOptions options;
+  options.error_method = ErrorMethod::kAnalytic;
+  options.num_batches = 10;
+  options.seed = 21;
+
+  QueryController controller(&catalog, *plan, options);
+  ASSERT_TRUE(controller.Init().ok());
+
+  std::vector<Row> accumulated;
+  const Table& fact = *(*catalog.Find("sessions"))->table;
+  std::vector<double> rel_err;
+  ASSERT_TRUE(controller
+                  .Run([&](const PartialResult& partial) {
+                    for (uint64_t id :
+                         controller.layout().batches[partial.batch]) {
+                      accumulated.push_back(fact.row(id));
+                    }
+                    const double scale = static_cast<double>(fact.num_rows()) /
+                                         accumulated.size();
+                    auto expected =
+                        EvaluateReference(*plan, catalog, accumulated, scale);
+                    EXPECT_TRUE(expected.ok());
+                    ExpectTablesEqual(partial.rows, *expected,
+                                      "analytic batch " +
+                                          std::to_string(partial.batch));
+                    if (!partial.estimates.empty()) {
+                      rel_err.push_back(partial.estimates[0][0].rel_stddev);
+                    }
+                    return BatchAction::kContinue;
+                  })
+                  .ok());
+  ASSERT_EQ(rel_err.size(), 10u);
+  EXPECT_GT(rel_err.front(), 0.0);           // uncertainty reported early
+  EXPECT_LT(rel_err.back(), rel_err.front());  // and it shrinks
+  EXPECT_NEAR(rel_err.back(), 0.0, 1e-12);   // exact at the final batch
+  // Classification still prunes: far fewer re-evaluations than the
+  // conservative everything-is-pending bound.
+  uint64_t recomputed = controller.metrics().TotalRecomputedRows();
+  uint64_t conservative_bound = 0;
+  for (size_t b = 0; b + 1 < 10; ++b) {
+    conservative_bound += controller.layout().batches[b].size() * (9 - b);
+  }
+  EXPECT_LT(recomputed, conservative_bound / 2);
+}
+
+// Analytic mode must also survive the grouped / correlated shapes.
+TEST(AnalyticErrorTest, GroupedAndCorrelatedShapesExact) {
+  Catalog catalog;
+  FillCatalog(&catalog, 500, 43);
+  auto functions = FunctionRegistry::Default();
+  for (QueryShape shape :
+       {QueryShape::kGroupedSpja, QueryShape::kCorrelated,
+        QueryShape::kHavingTop}) {
+    auto plan = BuildQuery(shape, catalog, functions);
+    ASSERT_TRUE(plan.ok());
+    EngineOptions options;
+    options.error_method = ErrorMethod::kAnalytic;
+    options.num_batches = 6;
+    options.seed = 3;
+    QueryController controller(&catalog, *plan, options);
+    ASSERT_TRUE(controller.Init().ok());
+    std::vector<Row> accumulated;
+    const Table& fact = *(*catalog.Find("sessions"))->table;
+    ASSERT_TRUE(controller
+                    .Run([&](const PartialResult& partial) {
+                      for (uint64_t id :
+                           controller.layout().batches[partial.batch]) {
+                        accumulated.push_back(fact.row(id));
+                      }
+                      const double scale =
+                          static_cast<double>(fact.num_rows()) /
+                          accumulated.size();
+                      auto expected = EvaluateReference(*plan, catalog,
+                                                        accumulated, scale);
+                      EXPECT_TRUE(expected.ok());
+                      ExpectTablesEqual(partial.rows, *expected, "analytic");
+                      return BatchAction::kContinue;
+                    })
+                    .ok());
+  }
+}
+
+// The observer can stop the run early (the paper's interactive control).
+TEST(ObserverTest, EarlyStop) {
+  Catalog catalog;
+  FillCatalog(&catalog, 200, 31);
+  auto functions = FunctionRegistry::Default();
+  auto plan = BuildQuery(QueryShape::kSimpleSpja, catalog, functions);
+  ASSERT_TRUE(plan.ok());
+
+  EngineOptions options;
+  options.num_batches = 10;
+  options.num_trials = 4;
+  QueryController controller(&catalog, *plan, options);
+  ASSERT_TRUE(controller.Init().ok());
+  int calls = 0;
+  ASSERT_TRUE(controller
+                  .Run([&](const PartialResult&) {
+                    ++calls;
+                    return calls >= 3 ? BatchAction::kStop
+                                      : BatchAction::kContinue;
+                  })
+                  .ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(controller.metrics().batches.size(), 3u);
+}
+
+// OPT1 should keep the non-deterministic set far smaller than the
+// conservative tagging on the SBI query.
+TEST(PruningTest, Opt1ShrinksNondeterministicSet) {
+  // The undecided band around the refining aggregate shrinks like 1/sqrt(n),
+  // so the effect needs a reasonable data size to be visible.
+  Catalog catalog;
+  FillCatalog(&catalog, 4000, 37);
+  auto functions = FunctionRegistry::Default();
+  auto plan = BuildQuery(QueryShape::kSbi, catalog, functions);
+  ASSERT_TRUE(plan.ok());
+
+  auto run = [&](bool opt1) {
+    EngineOptions options;
+    options.tuple_partition = opt1;
+    // Realistic trial count: with very few replicas the envelope is too
+    // noisy and recovery storms dominate (see bench_fig9d for the sweep).
+    options.num_trials = 50;
+    options.num_batches = 8;
+    options.seed = 9;
+    QueryController controller(&catalog, *plan, options);
+    EXPECT_TRUE(controller.Init().ok());
+    EXPECT_TRUE(controller.Run(nullptr).ok());
+    return controller.metrics().TotalRecomputedRows();
+  };
+  const uint64_t pruned = run(true);
+  const uint64_t conservative = run(false);
+  EXPECT_LT(pruned, conservative / 2) << "OPT1 should prune most tuples";
+}
+
+}  // namespace
+}  // namespace iolap

@@ -1,0 +1,178 @@
+// Differential fuzzing: randomly generated query plans (random schemas,
+// filters, group-bys, aggregates and nested-subquery comparisons) executed
+// incrementally under random engine configurations, checked batch-by-batch
+// against the reference evaluator. The strongest form of the Theorem 1
+// exactness property this repo asserts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/catalog.h"
+#include "common/random.h"
+#include "exec/reference.h"
+#include "iolap/query_controller.h"
+#include "plan/plan_builder.h"
+
+namespace iolap {
+namespace {
+
+// Random fact table: 2 numeric measures, 2 integer dimensions.
+Table RandomFact(Rng* rng, size_t rows) {
+  Table t(Schema({{"m1", ValueType::kDouble},
+                  {"m2", ValueType::kDouble},
+                  {"d1", ValueType::kInt64},
+                  {"d2", ValueType::kInt64}}));
+  for (size_t i = 0; i < rows; ++i) {
+    t.AddRow({rng->NextBounded(10) == 0
+                  ? Value::Null()
+                  : Value::Double(rng->NextDouble() * 100 - 20),
+              Value::Double(rng->NextExponential(0.1)),
+              Value::Int64(static_cast<int64_t>(rng->NextBounded(5))),
+              Value::Int64(static_cast<int64_t>(rng->NextZipf(7, 0.8)))});
+  }
+  return t;
+}
+
+// A random deterministic predicate over the fact columns.
+ExprPtr RandomDetPredicate(Rng* rng, BlockBuilder* b) {
+  const char* cols[] = {"m1", "m2", "d1", "d2"};
+  const char* col = cols[rng->NextBounded(4)];
+  ExprPtr lhs = b->ColRef(col);
+  ExprPtr rhs = Lit(rng->NextDouble() * 50);
+  switch (rng->NextBounded(4)) {
+    case 0:
+      return Gt(std::move(lhs), std::move(rhs));
+    case 1:
+      return Lt(std::move(lhs), std::move(rhs));
+    case 2:
+      return Ge(std::move(lhs), std::move(rhs));
+    default:
+      return Le(std::move(lhs), std::move(rhs));
+  }
+}
+
+// A random aggregate spec.
+void RandomAgg(Rng* rng, BlockBuilder* b, const std::string& name) {
+  const char* fns[] = {"sum", "avg", "count", "stddev"};
+  const char* measures[] = {"m1", "m2"};
+  const char* fn = fns[rng->NextBounded(4)];
+  ExprPtr arg = std::string(fn) == "count"
+                    ? Lit(int64_t{1})
+                    : b->ColRef(measures[rng->NextBounded(2)]);
+  if (rng->NextBounded(3) == 0 && std::string(fn) != "count") {
+    arg = Mul(std::move(arg), Lit(0.5 + rng->NextDouble()));
+  }
+  b->Agg(fn, std::move(arg), name);
+}
+
+// Builds a random plan: optionally an inner (scalar or keyed) aggregate
+// block, then an outer block whose filter may compare against it.
+Result<QueryPlan> RandomPlan(Rng* rng, const Catalog& catalog,
+                             std::shared_ptr<FunctionRegistry> functions) {
+  PlanBuilder pb(&catalog, functions);
+  const bool nested = rng->NextBounded(3) != 0;
+  const bool correlated = nested && rng->NextBounded(2) == 0;
+
+  int inner_id = -1;
+  if (nested) {
+    auto& inner = pb.NewBlock("inner");
+    inner.Scan("fact");
+    if (rng->NextBounded(2) == 0) {
+      inner.Filter(RandomDetPredicate(rng, &inner));
+    }
+    if (correlated) inner.GroupBy("d1");
+    const char* fns[] = {"avg", "sum"};
+    inner.Agg(fns[rng->NextBounded(2)], inner.ColRef("m2"), "ia");
+    inner_id = inner.id();
+  }
+
+  auto& outer = pb.NewBlock("outer");
+  outer.Scan("fact");
+  std::vector<ExprPtr> conjuncts;
+  if (rng->NextBounded(2) == 0) {
+    conjuncts.push_back(RandomDetPredicate(rng, &outer));
+  }
+  if (nested) {
+    ExprPtr sub = correlated
+                      ? outer.SubqueryRef(inner_id, "ia", {outer.ColRef("d1")})
+                      : outer.SubqueryRef(inner_id, "ia");
+    ExprPtr scaled = Mul(Lit(0.5 + rng->NextDouble()), std::move(sub));
+    ExprPtr lhs = outer.ColRef(rng->NextBounded(2) == 0 ? "m2" : "m1");
+    conjuncts.push_back(rng->NextBounded(2) == 0
+                            ? Gt(std::move(lhs), std::move(scaled))
+                            : Le(std::move(lhs), std::move(scaled)));
+  }
+  if (!conjuncts.empty()) outer.Filter(Conjunction(std::move(conjuncts)));
+  if (rng->NextBounded(2) == 0) outer.GroupBy("d2");
+  RandomAgg(rng, &outer, "a0");
+  if (rng->NextBounded(2) == 0) RandomAgg(rng, &outer, "a1");
+  return pb.Build();
+}
+
+class FuzzQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzQueryTest, RandomPlansStayExactEveryBatch) {
+  Rng rng(123457ull * (GetParam() + 1));
+  for (int iteration = 0; iteration < 6; ++iteration) {
+    Catalog catalog;
+    const size_t rows = 100 + rng.NextBounded(400);
+    ASSERT_TRUE(
+        catalog.RegisterTable("fact", RandomFact(&rng, rows), true).ok());
+    auto functions = FunctionRegistry::Default();
+    auto plan = RandomPlan(&rng, catalog, functions);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+
+    EngineOptions options;
+    options.num_batches = 2 + rng.NextBounded(8);
+    options.num_trials = static_cast<int>(rng.NextBounded(16));
+    options.slack = 0.5 * rng.NextBounded(5);
+    options.seed = rng.NextUint64();
+    options.tuple_partition = rng.NextBounded(4) != 0;
+    options.lazy_lineage = rng.NextBounded(4) != 0;
+    if (rng.NextBounded(5) == 0) options.mode = ExecutionMode::kHda;
+    if (rng.NextBounded(4) == 0) {
+      options.error_method = ErrorMethod::kAnalytic;
+    }
+
+    QueryController controller(&catalog, *plan, options);
+    ASSERT_TRUE(controller.Init().ok());
+    const Table& fact = *(*catalog.Find("fact"))->table;
+    std::vector<Row> accumulated;
+    Status status = controller.Run([&](const PartialResult& partial) {
+      for (uint64_t id : controller.layout().batches[partial.batch]) {
+        accumulated.push_back(fact.row(id));
+      }
+      const double scale =
+          static_cast<double>(fact.num_rows()) / accumulated.size();
+      auto expected = EvaluateReference(*plan, catalog, accumulated, scale);
+      EXPECT_TRUE(expected.ok());
+      EXPECT_EQ(partial.rows.num_rows(), expected->num_rows())
+          << "batch " << partial.batch << "\n" << plan->ToString();
+      if (partial.rows.num_rows() != expected->num_rows()) {
+        return BatchAction::kStop;
+      }
+      for (size_t r = 0; r < partial.rows.num_rows(); ++r) {
+        for (size_t c = 0; c < partial.rows.row(r).size(); ++c) {
+          const Value& a = partial.rows.row(r)[c];
+          const Value& e = expected->row(r)[c];
+          if (a.is_numeric() && e.is_numeric()) {
+            EXPECT_NEAR(a.AsDouble(), e.AsDouble(),
+                        1e-6 * std::max(1.0, std::fabs(e.AsDouble())))
+                << "batch " << partial.batch << " row " << r << " col " << c
+                << "\n" << plan->ToString();
+          } else {
+            EXPECT_EQ(a.is_null(), e.is_null()) << plan->ToString();
+          }
+        }
+      }
+      return BatchAction::kContinue;
+    });
+    ASSERT_TRUE(status.ok()) << status;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzQueryTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace iolap

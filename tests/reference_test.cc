@@ -1,0 +1,187 @@
+// Unit tests of the reference evaluator against hand-computed results.
+// The reference is the oracle every differential test leans on, so it gets
+// its own ground-truth coverage here.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "exec/reference.h"
+#include "plan/plan_builder.h"
+
+namespace iolap {
+namespace {
+
+class ReferenceTest : public ::testing::Test {
+ protected:
+  ReferenceTest() : functions_(FunctionRegistry::Default()) {
+    // fact: (k, x) — streamed; rows supplied per test via streamed_rows.
+    Table fact(Schema({{"k", ValueType::kInt64}, {"x", ValueType::kDouble}}));
+    fact.AddRow({Value::Int64(0), Value::Double(0)});  // placeholder row
+    EXPECT_TRUE(catalog_.RegisterTable("fact", std::move(fact), true).ok());
+
+    Table dim(Schema({{"k", ValueType::kInt64}, {"w", ValueType::kDouble}}));
+    dim.AddRow({Value::Int64(1), Value::Double(10)});
+    dim.AddRow({Value::Int64(2), Value::Double(20)});
+    EXPECT_TRUE(catalog_.RegisterTable("dim", std::move(dim)).ok());
+  }
+
+  static Row F(int64_t k, double x) { return {Value::Int64(k), Value::Double(x)}; }
+
+  Catalog catalog_;
+  std::shared_ptr<FunctionRegistry> functions_;
+};
+
+TEST_F(ReferenceTest, GlobalAggregatesWithScaling) {
+  PlanBuilder pb(&catalog_, functions_);
+  auto& b = pb.NewBlock("agg");
+  b.Scan("fact")
+      .Agg("sum", b.ColRef("x"), "s")
+      .Agg("avg", b.ColRef("x"), "a")
+      .Agg("count", Lit(int64_t{1}), "n");
+  auto plan = pb.Build();
+  ASSERT_TRUE(plan.ok());
+
+  std::vector<Row> rows = {F(1, 10), F(1, 20), F(2, 30)};
+  auto result = EvaluateReference(*plan, catalog_, rows, /*scale=*/3.0);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(result->row(0)[0].AsDouble(), 180.0);  // 60 × 3
+  EXPECT_DOUBLE_EQ(result->row(0)[1].AsDouble(), 20.0);   // scale-invariant
+  EXPECT_DOUBLE_EQ(result->row(0)[2].AsDouble(), 9.0);    // 3 × 3
+}
+
+TEST_F(ReferenceTest, GroupByOrderedByKey) {
+  PlanBuilder pb(&catalog_, functions_);
+  auto& b = pb.NewBlock("grouped");
+  b.Scan("fact").GroupBy("k").Agg("sum", b.ColRef("x"), "s");
+  auto plan = pb.Build();
+  ASSERT_TRUE(plan.ok());
+  std::vector<Row> rows = {F(2, 5), F(1, 1), F(2, 7)};
+  auto result = EvaluateReference(*plan, catalog_, rows, 1.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->row(0)[0].int64(), 1);
+  EXPECT_DOUBLE_EQ(result->row(0)[1].AsDouble(), 1.0);
+  EXPECT_EQ(result->row(1)[0].int64(), 2);
+  EXPECT_DOUBLE_EQ(result->row(1)[1].AsDouble(), 12.0);
+}
+
+TEST_F(ReferenceTest, JoinWithDimension) {
+  PlanBuilder pb(&catalog_, functions_);
+  auto& b = pb.NewBlock("joined");
+  b.Scan("fact")
+      .Join("dim", {"k"}, {"k"})
+      .Agg("sum", Mul(b.ColRef("x"), b.ColRef("w")), "wx");
+  auto plan = pb.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // k=3 has no dim row: dropped by the natural join.
+  std::vector<Row> rows = {F(1, 2), F(2, 3), F(3, 100)};
+  auto result = EvaluateReference(*plan, catalog_, rows, 1.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(result->row(0)[0].AsDouble(), 2 * 10 + 3 * 20.0);
+}
+
+TEST_F(ReferenceTest, NestedSubqueryUsesScaledInner) {
+  // outer: sum(x) where x > avg(x); inner avg is scale-invariant, so the
+  // threshold is the plain mean of the sample.
+  PlanBuilder pb(&catalog_, functions_);
+  auto& inner = pb.NewBlock("inner");
+  inner.Scan("fact").Agg("avg", inner.ColRef("x"), "a");
+  auto& outer = pb.NewBlock("outer");
+  outer.Scan("fact")
+      .Filter(Gt(outer.ColRef("x"), outer.SubqueryRef(inner.id(), "a")))
+      .Agg("sum", outer.ColRef("x"), "s");
+  auto plan = pb.Build();
+  ASSERT_TRUE(plan.ok());
+  std::vector<Row> rows = {F(1, 10), F(1, 20), F(1, 30)};  // avg 20
+  auto result = EvaluateReference(*plan, catalog_, rows, 2.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(result->row(0)[0].AsDouble(), 60.0);  // only 30, ×2
+}
+
+TEST_F(ReferenceTest, ScaledInnerSumThreshold) {
+  // Inner SUM is scaled: with scale 4, sum({1,2,3}) = 24; filter keeps
+  // x > 0.1 * 24 = 2.4, i.e. only x = 3.
+  PlanBuilder pb(&catalog_, functions_);
+  auto& inner = pb.NewBlock("inner");
+  inner.Scan("fact").Agg("sum", inner.ColRef("x"), "s");
+  auto& outer = pb.NewBlock("outer");
+  outer.Scan("fact")
+      .Filter(Gt(outer.ColRef("x"),
+                 Mul(Lit(0.1), outer.SubqueryRef(inner.id(), "s"))))
+      .Agg("count", Lit(int64_t{1}), "n");
+  auto plan = pb.Build();
+  ASSERT_TRUE(plan.ok());
+  std::vector<Row> rows = {F(1, 1), F(1, 2), F(1, 3)};
+  auto result = EvaluateReference(*plan, catalog_, rows, 4.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->row(0)[0].AsDouble(), 4.0);  // 1 row × scale 4
+}
+
+TEST_F(ReferenceTest, CorrelatedSubqueryPerGroup) {
+  PlanBuilder pb(&catalog_, functions_);
+  auto& inner = pb.NewBlock("per_k");
+  inner.Scan("fact").GroupBy("k").Agg("avg", inner.ColRef("x"), "ka");
+  auto& outer = pb.NewBlock("outer");
+  outer.Scan("fact")
+      .Filter(Gt(outer.ColRef("x"),
+                 outer.SubqueryRef(inner.id(), "ka", {outer.ColRef("k")})))
+      .Agg("count", Lit(int64_t{1}), "n");
+  auto plan = pb.Build();
+  ASSERT_TRUE(plan.ok());
+  // k=1: avg 15 -> 20 passes; k=2: avg 30 -> nothing above 30.
+  std::vector<Row> rows = {F(1, 10), F(1, 20), F(2, 30)};
+  auto result = EvaluateReference(*plan, catalog_, rows, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->row(0)[0].AsDouble(), 1.0);
+}
+
+TEST_F(ReferenceTest, HavingTopProjection) {
+  PlanBuilder pb(&catalog_, functions_);
+  auto& grouped = pb.NewBlock("per_k");
+  grouped.Scan("fact").GroupBy("k").Agg("sum", grouped.ColRef("x"), "s");
+  auto& top = pb.NewBlock("top");
+  top.ScanBlock(grouped.id())
+      .Filter(Gt(top.ColRef("s"), Lit(10.0)))
+      .Project(top.ColRef("k"), "k")
+      .Project(Mul(top.ColRef("s"), Lit(2.0)), "s2");
+  auto plan = pb.Build();
+  ASSERT_TRUE(plan.ok());
+  std::vector<Row> rows = {F(1, 6), F(1, 7), F(2, 4)};  // sums: 13, 4
+  auto result = EvaluateReference(*plan, catalog_, rows, 1.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->row(0)[0].int64(), 1);
+  EXPECT_DOUBLE_EQ(result->row(0)[1].AsDouble(), 26.0);
+}
+
+TEST_F(ReferenceTest, EmptyInput) {
+  PlanBuilder pb(&catalog_, functions_);
+  auto& b = pb.NewBlock("agg");
+  b.Scan("fact").GroupBy("k").Agg("sum", b.ColRef("x"), "s");
+  auto plan = pb.Build();
+  ASSERT_TRUE(plan.ok());
+  auto result = EvaluateReference(*plan, catalog_, {}, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST_F(ReferenceTest, NullsSkippedByAggregates) {
+  PlanBuilder pb(&catalog_, functions_);
+  auto& b = pb.NewBlock("agg");
+  b.Scan("fact")
+      .Agg("sum", b.ColRef("x"), "s")
+      .Agg("count", b.ColRef("x"), "nx");
+  auto plan = pb.Build();
+  ASSERT_TRUE(plan.ok());
+  std::vector<Row> rows = {F(1, 5), {Value::Int64(1), Value::Null()}};
+  auto result = EvaluateReference(*plan, catalog_, rows, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->row(0)[0].AsDouble(), 5.0);
+  EXPECT_DOUBLE_EQ(result->row(0)[1].AsDouble(), 1.0);  // null not counted
+}
+
+}  // namespace
+}  // namespace iolap
