@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rewrite"
+  "../bench/bench_ablation_rewrite.pdb"
+  "CMakeFiles/bench_ablation_rewrite.dir/bench_ablation_rewrite.cc.o"
+  "CMakeFiles/bench_ablation_rewrite.dir/bench_ablation_rewrite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

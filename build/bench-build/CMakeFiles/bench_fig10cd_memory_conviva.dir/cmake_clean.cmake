@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10cd_memory_conviva"
+  "../bench/bench_fig10cd_memory_conviva.pdb"
+  "CMakeFiles/bench_fig10cd_memory_conviva.dir/bench_fig10cd_memory_conviva.cc.o"
+  "CMakeFiles/bench_fig10cd_memory_conviva.dir/bench_fig10cd_memory_conviva.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10cd_memory_conviva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10cd_memory_conviva.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9defg_tuning"
+  "../bench/bench_fig9defg_tuning.pdb"
+  "CMakeFiles/bench_fig9defg_tuning.dir/bench_fig9defg_tuning.cc.o"
+  "CMakeFiles/bench_fig9defg_tuning.dir/bench_fig9defg_tuning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9defg_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

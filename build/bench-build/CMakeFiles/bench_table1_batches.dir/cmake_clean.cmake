@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_batches"
+  "../bench/bench_table1_batches.pdb"
+  "CMakeFiles/bench_table1_batches.dir/bench_table1_batches.cc.o"
+  "CMakeFiles/bench_table1_batches.dir/bench_table1_batches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conviva_dashboard.dir/conviva_dashboard.cpp.o"
+  "CMakeFiles/conviva_dashboard.dir/conviva_dashboard.cpp.o.d"
+  "conviva_dashboard"
+  "conviva_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conviva_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

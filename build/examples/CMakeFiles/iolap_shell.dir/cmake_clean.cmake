@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolap_shell.dir/iolap_shell.cpp.o"
+  "CMakeFiles/iolap_shell.dir/iolap_shell.cpp.o.d"
+  "iolap_shell"
+  "iolap_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolap_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

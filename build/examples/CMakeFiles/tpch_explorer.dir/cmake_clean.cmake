@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_explorer.dir/tpch_explorer.cpp.o"
+  "CMakeFiles/tpch_explorer.dir/tpch_explorer.cpp.o.d"
+  "tpch_explorer"
+  "tpch_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bootstrap/error_estimate.cc" "src/CMakeFiles/iolap.dir/bootstrap/error_estimate.cc.o" "gcc" "src/CMakeFiles/iolap.dir/bootstrap/error_estimate.cc.o.d"
+  "/root/repo/src/bootstrap/poisson_multiplicities.cc" "src/CMakeFiles/iolap.dir/bootstrap/poisson_multiplicities.cc.o" "gcc" "src/CMakeFiles/iolap.dir/bootstrap/poisson_multiplicities.cc.o.d"
+  "/root/repo/src/bootstrap/trial_accumulator.cc" "src/CMakeFiles/iolap.dir/bootstrap/trial_accumulator.cc.o" "gcc" "src/CMakeFiles/iolap.dir/bootstrap/trial_accumulator.cc.o.d"
+  "/root/repo/src/bootstrap/variation_range.cc" "src/CMakeFiles/iolap.dir/bootstrap/variation_range.cc.o" "gcc" "src/CMakeFiles/iolap.dir/bootstrap/variation_range.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/iolap.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/iolap.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/csv.cc" "src/CMakeFiles/iolap.dir/catalog/csv.cc.o" "gcc" "src/CMakeFiles/iolap.dir/catalog/csv.cc.o.d"
+  "/root/repo/src/catalog/partitioner.cc" "src/CMakeFiles/iolap.dir/catalog/partitioner.cc.o" "gcc" "src/CMakeFiles/iolap.dir/catalog/partitioner.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/iolap.dir/common/random.cc.o" "gcc" "src/CMakeFiles/iolap.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/iolap.dir/common/status.cc.o" "gcc" "src/CMakeFiles/iolap.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/iolap.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/iolap.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/aggregate.cc" "src/CMakeFiles/iolap.dir/core/aggregate.cc.o" "gcc" "src/CMakeFiles/iolap.dir/core/aggregate.cc.o.d"
+  "/root/repo/src/core/expr.cc" "src/CMakeFiles/iolap.dir/core/expr.cc.o" "gcc" "src/CMakeFiles/iolap.dir/core/expr.cc.o.d"
+  "/root/repo/src/core/function_registry.cc" "src/CMakeFiles/iolap.dir/core/function_registry.cc.o" "gcc" "src/CMakeFiles/iolap.dir/core/function_registry.cc.o.d"
+  "/root/repo/src/core/interval.cc" "src/CMakeFiles/iolap.dir/core/interval.cc.o" "gcc" "src/CMakeFiles/iolap.dir/core/interval.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/iolap.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/iolap.dir/core/schema.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/CMakeFiles/iolap.dir/core/table.cc.o" "gcc" "src/CMakeFiles/iolap.dir/core/table.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/CMakeFiles/iolap.dir/core/value.cc.o" "gcc" "src/CMakeFiles/iolap.dir/core/value.cc.o.d"
+  "/root/repo/src/exec/batch.cc" "src/CMakeFiles/iolap.dir/exec/batch.cc.o" "gcc" "src/CMakeFiles/iolap.dir/exec/batch.cc.o.d"
+  "/root/repo/src/exec/hash_aggregate.cc" "src/CMakeFiles/iolap.dir/exec/hash_aggregate.cc.o" "gcc" "src/CMakeFiles/iolap.dir/exec/hash_aggregate.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/iolap.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/iolap.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/reference.cc" "src/CMakeFiles/iolap.dir/exec/reference.cc.o" "gcc" "src/CMakeFiles/iolap.dir/exec/reference.cc.o.d"
+  "/root/repo/src/iolap/aggregate_registry.cc" "src/CMakeFiles/iolap.dir/iolap/aggregate_registry.cc.o" "gcc" "src/CMakeFiles/iolap.dir/iolap/aggregate_registry.cc.o.d"
+  "/root/repo/src/iolap/delta_engine.cc" "src/CMakeFiles/iolap.dir/iolap/delta_engine.cc.o" "gcc" "src/CMakeFiles/iolap.dir/iolap/delta_engine.cc.o.d"
+  "/root/repo/src/iolap/metrics.cc" "src/CMakeFiles/iolap.dir/iolap/metrics.cc.o" "gcc" "src/CMakeFiles/iolap.dir/iolap/metrics.cc.o.d"
+  "/root/repo/src/iolap/query_controller.cc" "src/CMakeFiles/iolap.dir/iolap/query_controller.cc.o" "gcc" "src/CMakeFiles/iolap.dir/iolap/query_controller.cc.o.d"
+  "/root/repo/src/iolap/session.cc" "src/CMakeFiles/iolap.dir/iolap/session.cc.o" "gcc" "src/CMakeFiles/iolap.dir/iolap/session.cc.o.d"
+  "/root/repo/src/plan/lineage_blocks.cc" "src/CMakeFiles/iolap.dir/plan/lineage_blocks.cc.o" "gcc" "src/CMakeFiles/iolap.dir/plan/lineage_blocks.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/iolap.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/iolap.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/plan_builder.cc" "src/CMakeFiles/iolap.dir/plan/plan_builder.cc.o" "gcc" "src/CMakeFiles/iolap.dir/plan/plan_builder.cc.o.d"
+  "/root/repo/src/plan/rewrite_rules.cc" "src/CMakeFiles/iolap.dir/plan/rewrite_rules.cc.o" "gcc" "src/CMakeFiles/iolap.dir/plan/rewrite_rules.cc.o.d"
+  "/root/repo/src/plan/uncertainty_analysis.cc" "src/CMakeFiles/iolap.dir/plan/uncertainty_analysis.cc.o" "gcc" "src/CMakeFiles/iolap.dir/plan/uncertainty_analysis.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/iolap.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/iolap.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/iolap.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/iolap.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/iolap.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/iolap.dir/sql/parser.cc.o.d"
+  "/root/repo/src/workloads/conviva.cc" "src/CMakeFiles/iolap.dir/workloads/conviva.cc.o" "gcc" "src/CMakeFiles/iolap.dir/workloads/conviva.cc.o.d"
+  "/root/repo/src/workloads/conviva_queries.cc" "src/CMakeFiles/iolap.dir/workloads/conviva_queries.cc.o" "gcc" "src/CMakeFiles/iolap.dir/workloads/conviva_queries.cc.o.d"
+  "/root/repo/src/workloads/experiment_driver.cc" "src/CMakeFiles/iolap.dir/workloads/experiment_driver.cc.o" "gcc" "src/CMakeFiles/iolap.dir/workloads/experiment_driver.cc.o.d"
+  "/root/repo/src/workloads/tpch.cc" "src/CMakeFiles/iolap.dir/workloads/tpch.cc.o" "gcc" "src/CMakeFiles/iolap.dir/workloads/tpch.cc.o.d"
+  "/root/repo/src/workloads/tpch_queries.cc" "src/CMakeFiles/iolap.dir/workloads/tpch_queries.cc.o" "gcc" "src/CMakeFiles/iolap.dir/workloads/tpch_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_rules_test.dir/rewrite_rules_test.cc.o"
+  "CMakeFiles/rewrite_rules_test.dir/rewrite_rules_test.cc.o.d"
+  "rewrite_rules_test"
+  "rewrite_rules_test.pdb"
+  "rewrite_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_extra_test.dir/sql_extra_test.cc.o"
+  "CMakeFiles/sql_extra_test.dir/sql_extra_test.cc.o.d"
+  "sql_extra_test"
+  "sql_extra_test.pdb"
+  "sql_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
