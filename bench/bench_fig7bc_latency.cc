@@ -20,7 +20,7 @@ int RunWorkload(const char* figure, const std::vector<BenchQuery>& queries,
                 conviva ? "Conviva query latency: baseline vs iOLAP"
                         : "TPC-H query latency: baseline vs iOLAP",
                 "query\tbaseline_s\tiolap_5pct_s\tiolap_10pct_s\t"
-                "iolap_full_s\tfull_vs_baseline");
+                "iolap_full_s\tfull_vs_baseline\tiolap_cpu_s\tcpu_over_wall");
   for (const BenchQuery& query : queries) {
     auto catalog = CatalogFor(query, conviva);
     if (!catalog.ok()) {
@@ -45,9 +45,13 @@ int RunWorkload(const char* figure, const std::vector<BenchQuery>& queries,
     const double full_s = iolap_run->metrics.TotalLatencySec();
     const double at5 = bench::LatencyToFraction(iolap_run->metrics, 0.05);
     const double at10 = bench::LatencyToFraction(iolap_run->metrics, 0.10);
-    std::printf("%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.2fx\n", query.id.c_str(),
-                baseline_s, at5, at10, full_s,
-                baseline_s > 0 ? full_s / baseline_s : 0.0);
+    // cpu/wall > 1 shows intra-batch parallelism at work (set
+    // IOLAP_BENCH_THREADS); ≈1 means the run was effectively serial.
+    const double cpu_s = iolap_run->metrics.TotalCpuSec();
+    std::printf("%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.2fx\t%.4f\t%.2f\n",
+                query.id.c_str(), baseline_s, at5, at10, full_s,
+                baseline_s > 0 ? full_s / baseline_s : 0.0, cpu_s,
+                full_s > 0 ? cpu_s / full_s : 0.0);
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "core/function_registry.h"
 #include "exec/hash_aggregate.h"
 #include "exec/operators.h"
+#include "workloads/experiment_driver.h"
 
 namespace iolap {
 namespace {
@@ -125,6 +126,57 @@ void BM_GroupedAggregate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GroupedAggregate);
+
+// End-to-end per-batch engine cost under intra-batch parallelism: each
+// iteration runs a full incremental TPC-H query (a nested one, so the
+// per-trial re-evaluation of the non-deterministic set dominates) with
+// EngineOptions::num_threads = Arg. Results are bit-identical across
+// thread counts; only wall time changes. The per_batch_ms counter is the
+// engine's own per-batch wall clock and cpu_over_wall its measured
+// parallelism (≈1 inline, → num_threads when the batch scales).
+void BM_EngineBatch(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const std::vector<BenchQuery> queries = TpchQueries();
+  BenchQuery query = queries.front();
+  for (const BenchQuery& q : queries) {
+    if (q.nested) {
+      query = q;
+      break;
+    }
+  }
+  auto catalog = TpchCatalogStreaming(query.streamed_table);
+  if (!catalog.ok()) {
+    state.SkipWithError(catalog.status().ToString().c_str());
+    return;
+  }
+  EngineOptions options = BenchOptions(ExecutionMode::kIolap);
+  options.num_threads = threads;
+  double wall = 0.0;
+  double cpu = 0.0;
+  size_t batches = 0;
+  for (auto _ : state) {
+    auto outcome = RunBenchQuery(*catalog, query, options);
+    if (!outcome.ok()) {
+      state.SkipWithError(outcome.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(outcome->final_result.rows.num_rows());
+    wall += outcome->metrics.TotalLatencySec();
+    cpu += outcome->metrics.TotalCpuSec();
+    batches += outcome->metrics.batches.size();
+  }
+  if (batches > 0) {
+    state.counters["per_batch_ms"] = 1e3 * wall / static_cast<double>(batches);
+    state.counters["cpu_over_wall"] = wall > 0.0 ? cpu / wall : 0.0;
+  }
+}
+BENCHMARK(BM_EngineBatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace iolap

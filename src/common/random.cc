@@ -31,7 +31,14 @@ uint64_t Rng::NextUint64() {
   return result;
 }
 
+Rng Rng::ForLane(uint64_t seed, uint64_t lane) {
+  // Mixing before the constructor's own SplitMix64 expansion keeps lanes
+  // with small indices (0, 1, 2, ...) far apart in the seed space.
+  return Rng(Mix64(seed ^ lane));
+}
+
 uint64_t Rng::NextBounded(uint64_t bound) {
+  if (bound <= 1) return 0;  // `-bound % bound` is a division by zero at 0
   // Rejection sampling over the top of the range to avoid modulo bias.
   const uint64_t threshold = -bound % bound;
   for (;;) {

@@ -16,11 +16,18 @@ class Rng {
   /// Seeds the four lanes from a single 64-bit seed via SplitMix64.
   explicit Rng(uint64_t seed);
 
+  /// Deterministic per-lane split: the generator worker thread `lane`
+  /// (0-based) uses when a parallel phase needs local randomness. The
+  /// stream is a pure function of (seed, lane) — SplitMix64 over
+  /// seed ^ lane — so results do not depend on which OS thread executes
+  /// which lane, nor on the thread count of lanes that draw nothing.
+  static Rng ForLane(uint64_t seed, uint64_t lane);
+
   /// Uniform 64-bit value.
   uint64_t NextUint64();
 
-  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
-  /// avoid modulo bias.
+  /// Uniform in [0, bound). Returns 0 when bound <= 1 (a bound of 0 would
+  /// otherwise hit `% 0`). Uses rejection sampling to avoid modulo bias.
   uint64_t NextBounded(uint64_t bound);
 
   /// Uniform double in [0, 1).

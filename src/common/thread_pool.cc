@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace iolap {
 
@@ -20,23 +21,49 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::SubmitToGroup(TaskGroup* group, std::function<void()> task) {
   if (workers_.empty()) {
+    // Inline mode: execute on the caller. Exceptions propagate naturally,
+    // matching the rethrow-on-caller contract of the pooled path.
     task();
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    tasks_.emplace(group, std::move(task));
+    if (group == nullptr) {
+      ++in_flight_;
+    } else {
+      std::lock_guard<std::mutex> group_lock(group->mu);
+      ++group->remaining;
+    }
   }
   task_ready_.notify_one();
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  SubmitToGroup(nullptr, std::move(task));
+}
+
 void ThreadPool::Wait() {
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(submit_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::WaitGroup(TaskGroup* group) {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(group->mu);
+    group->done.wait(lock, [group] { return group->remaining == 0; });
+    error = std::exchange(group->first_error, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::ParallelFor(size_t count,
@@ -48,30 +75,63 @@ void ThreadPool::ParallelFor(size_t count,
   // Chunk so each worker receives at most a handful of tasks.
   const size_t chunks = std::min(count, workers_.size() * 4);
   const size_t per_chunk = (count + chunks - 1) / chunks;
+  TaskGroup group;
   for (size_t c = 0; c < chunks; ++c) {
     const size_t begin = c * per_chunk;
     const size_t end = std::min(count, begin + per_chunk);
     if (begin >= end) break;
-    Submit([begin, end, &fn] {
+    SubmitToGroup(&group, [begin, end, &fn] {
       for (size_t i = begin; i < end; ++i) fn(i);
     });
   }
-  Wait();
+  WaitGroup(&group);
+}
+
+void ThreadPool::ParallelRanges(
+    size_t count,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    fn(0, count, 0);
+    return;
+  }
+  const size_t lanes = std::min(count, num_lanes());
+  const size_t per_lane = (count + lanes - 1) / lanes;
+  TaskGroup group;
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    const size_t begin = lane * per_lane;
+    const size_t end = std::min(count, begin + per_lane);
+    if (begin >= end) break;
+    SubmitToGroup(&group, [begin, end, lane, &fn] { fn(begin, end, lane); });
+  }
+  WaitGroup(&group);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
+    TaskGroup* group = nullptr;
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // shutdown with drained queue
-      task = std::move(tasks_.front());
+      group = tasks_.front().first;
+      task = std::move(tasks_.front().second);
       tasks_.pop();
     }
-    task();
-    {
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    if (group != nullptr) {
+      std::lock_guard<std::mutex> lock(group->mu);
+      if (error && !group->first_error) group->first_error = error;
+      if (--group->remaining == 0) group->done.notify_all();
+    } else {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error && !submit_error_) submit_error_ = error;
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

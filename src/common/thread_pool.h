@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -11,10 +12,28 @@
 
 namespace iolap {
 
-/// Fixed-size worker pool used for intra-batch parallelism (parallel scans
-/// and partial-aggregate merges). The pool is optional: with num_threads == 0
-/// tasks run inline on the caller, which keeps single-threaded runs fully
-/// deterministic and easy to debug.
+/// Fixed-size worker pool used for intra-batch parallelism (classification,
+/// per-trial predicate evaluation, trial-replica accumulation and group
+/// materialization in the delta engine). The pool is optional: with
+/// num_threads == 0 tasks run inline on the caller, which keeps
+/// single-threaded runs fully deterministic and easy to debug — and the
+/// engine's parallel phases are structured so that results are bit-identical
+/// for every thread count (see docs/INTERNALS.md, "Parallelism model").
+///
+/// Error handling: a task that throws does not take the process down
+/// (std::terminate); the first exception of a ParallelFor/ParallelRanges
+/// call — or, for plain Submit, of the current Wait() epoch — is captured
+/// and rethrown on the calling thread from ParallelFor/ParallelRanges/Wait.
+/// Later exceptions of the same call are swallowed.
+///
+/// Re-entrancy contract: ParallelFor/ParallelRanges use a per-call
+/// completion latch, so concurrent calls from different threads do not wait
+/// on each other's work. Submit/Wait, by contrast, share one global
+/// in-flight counter: Wait() is a barrier over *all* plain-Submitted tasks,
+/// so interleaving Submit/Wait pairs from multiple threads serializes them.
+/// Calling ParallelFor from inside a pool task deadlocks (the nested call
+/// would wait on workers that are all busy) — parallel phases must be
+/// issued from the driving thread only.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -26,23 +45,55 @@ class ThreadPool {
   /// Enqueues a task; inline execution when the pool has no workers.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every plain-Submitted task has finished. Rethrows the
+  /// first exception any of them raised since the last Wait().
   void Wait();
 
-  /// Runs fn(i) for i in [0, count), partitioned across the pool, and waits.
+  /// Runs fn(i) for i in [0, count), partitioned across the pool, and
+  /// waits. Rethrows the first exception fn raised. Safe to call
+  /// concurrently from multiple non-pool threads.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Runs fn(begin, end, lane) over a static partition of [0, count) into
+  /// at most num_lanes() contiguous ranges and waits. The lane index is a
+  /// stable, deterministic property of the *range* (not of the worker that
+  /// happens to execute it), so per-lane resources — e.g. an Rng split via
+  /// Rng::ForLane(seed, lane) — yield results independent of scheduling.
+  /// Inline mode runs a single range [0, count) with lane 0.
+  void ParallelRanges(
+      size_t count,
+      const std::function<void(size_t begin, size_t end, size_t lane)>& fn);
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Number of lanes ParallelRanges partitions into (1 in inline mode).
+  size_t num_lanes() const {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
  private:
+  /// Per-call completion state for ParallelFor/ParallelRanges: tasks of one
+  /// call count down their own latch, so concurrent calls are independent.
+  struct TaskGroup {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining = 0;
+    std::exception_ptr first_error;
+  };
+
   void WorkerLoop();
+  /// Enqueues `task` charged to `group` (nullptr = the global Wait epoch).
+  void SubmitToGroup(TaskGroup* group, std::function<void()> task);
+  /// Blocks until `group` drains, then rethrows its first error, if any.
+  static void WaitGroup(TaskGroup* group);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<std::pair<TaskGroup*, std::function<void()>>> tasks_;
   std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
-  size_t in_flight_ = 0;
+  size_t in_flight_ = 0;  // plain-Submit tasks only
+  std::exception_ptr submit_error_;
   bool shutdown_ = false;
 };
 

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 namespace iolap {
 
@@ -27,6 +28,33 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Process CPU-time timer. Together with WallTimer it makes intra-batch
+/// parallelism visible in the metrics: a perfectly parallel batch on N
+/// cores shows cpu ≈ N × wall, an inline run shows cpu ≈ wall.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  /// CPU seconds consumed by the whole process (all threads) since
+  /// construction or the last Restart().
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+    }
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+  }
+
+  double start_;
 };
 
 }  // namespace iolap

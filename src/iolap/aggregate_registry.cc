@@ -1,16 +1,29 @@
 #include "iolap/aggregate_registry.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
 namespace iolap {
+
+namespace {
+
+/// Source of globally unique memo epochs (see Relation::memo_epoch). Starts
+/// at 1 so a default-initialized thread_local memo (epoch 0) never matches.
+uint64_t NextMemoEpoch() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 AggregateRegistry::AggregateRegistry(const QueryPlan* plan, double slack)
     : slack_(slack) {
   relations_.resize(plan->blocks.size());
   for (size_t b = 0; b < plan->blocks.size(); ++b) {
     const Block& block = plan->blocks[b];
+    relations_[b].memo_epoch = NextMemoEpoch();
     relations_[b].num_keys = static_cast<int>(block.group_by.size());
     relations_[b].linear.reserve(block.aggs.size());
     for (const AggSpec& agg : block.aggs) {
@@ -165,7 +178,7 @@ void AggregateRegistry::RequireContainment(int block, int col,
 
 void AggregateRegistry::RollbackTo(int batch, int freeze_updates) {
   for (Relation& rel : relations_) {
-    rel.memo_entry = nullptr;
+    rel.memo_epoch = NextMemoEpoch();  // erase invalidates memoized pointers
     for (auto it = rel.entries.begin(); it != rel.entries.end();) {
       Entry& entry = it->second;
       if (entry.first_batch > batch) {
@@ -210,15 +223,28 @@ size_t AggregateRegistry::TotalBytes() const {
 
 const AggregateRegistry::Entry* AggregateRegistry::FindEntry(
     int block, const Row& key) const {
+  // Single-slot lookup memo: the delta engine resolves the same group once
+  // per bootstrap trial in tight loops. thread_local (rather than a mutable
+  // member) so concurrent const lookups from pool workers stay race-free;
+  // the relation's memo_epoch guards against cross-relation aliasing and
+  // against entries erased by RollbackTo.
+  struct Memo {
+    uint64_t epoch = 0;
+    Row key;
+    const Entry* entry = nullptr;
+  };
+  thread_local Memo memo;
   const Relation& rel = relations_[block];
-  if (rel.memo_entry != nullptr && RowEq()(rel.memo_key, key)) {
-    return rel.memo_entry;
+  if (memo.epoch == rel.memo_epoch && memo.entry != nullptr &&
+      RowEq()(memo.key, key)) {
+    return memo.entry;
   }
   auto it = rel.entries.find(key);
   if (it == rel.entries.end()) return nullptr;
-  rel.memo_key = key;
-  rel.memo_entry = &it->second;
-  return rel.memo_entry;
+  memo.epoch = rel.memo_epoch;
+  memo.key = key;
+  memo.entry = &it->second;
+  return memo.entry;
 }
 
 Value AggregateRegistry::Lookup(int block, int col, const Row& key) const {

@@ -125,11 +125,13 @@ class AggregateRegistry final : public AggLookupResolver,
     double scale = 1.0;
     std::vector<bool> linear;  // per aggregate column
     std::unordered_map<Row, Entry, RowHash, RowEq> entries;
-    // Single-slot lookup memo: the delta engine resolves the same group
-    // once per bootstrap trial in tight loops; entry pointers are stable
-    // (node-based map) until an erase, which invalidates the memo.
-    mutable Row memo_key;
-    mutable const Entry* memo_entry = nullptr;
+    // Validates the thread_local lookup memo in FindEntry. Assigned a
+    // globally unique value at construction and re-assigned on every
+    // erase (RollbackTo), so a memoized entry pointer can never alias a
+    // different relation or survive the erase that freed it. Entry
+    // pointers are otherwise stable (node-based map), so inserts need no
+    // bump.
+    uint64_t memo_epoch = 0;
     // Integrity failures charged per group. Deliberately NOT rolled back:
     // a failure recovery erases entries created after the recovery point,
     // and without the persistent count a chronically misbehaving value

@@ -24,12 +24,14 @@ BlockExecutor::BlockExecutor(const QueryPlan* plan, int block_id,
                              const EngineOptions* options,
                              AggregateRegistry* registry,
                              BootstrapWeights bootstrap,
-                             bool consumed_downstream, bool feeds_join)
+                             bool consumed_downstream, bool feeds_join,
+                             ThreadPool* pool)
     : plan_(plan),
       block_(&plan->blocks[block_id]),
       ann_(&(*annotations)[block_id]),
       options_(options),
       registry_(registry),
+      pool_(pool),
       bootstrap_(bootstrap),
       consumed_downstream_(consumed_downstream),
       feeds_join_(feeds_join),
@@ -98,7 +100,8 @@ void BlockExecutor::RefreshRow(ExecRow* row, bool charge_regeneration) const {
   }
 }
 
-IntervalTruth BlockExecutor::Classify(const ExecRow& row) const {
+IntervalTruth BlockExecutor::Classify(const ExecRow& row,
+                                      RangeConstraintSink* sink) const {
   if (block_->filter == nullptr) return IntervalTruth::kAlwaysTrue;
   EvalContext ctx = MainContext();
   if (classification_enabled()) {
@@ -107,7 +110,7 @@ IntervalTruth BlockExecutor::Classify(const ExecRow& row) const {
     // keep it valid (the constraints the §5.1 integrity check enforces).
     // Stateless consumers re-decide everything next batch and impose no
     // obligations.
-    if (!stateless_) ctx.constraint_sink = registry_;
+    if (!stateless_) ctx.constraint_sink = sink;
     return ClassifyPredicate(*block_->filter, row.values, ctx);
   }
   // Conservative §4.1 tagging (also the HDA behaviour): any tuple whose
@@ -149,88 +152,178 @@ std::vector<double> BlockExecutor::DisplayAnalyticSd(
   return out;
 }
 
-const int* BlockExecutor::TrialWeightsFor(const ExecRow& row) const {
-  const int trials = bootstrap_.num_trials();
-  if (!row.FromStream() || trials == 0) return nullptr;
-  trial_weight_scratch_.resize(trials);
-  for (int t = 0; t < trials; ++t) {
-    trial_weight_scratch_[t] = bootstrap_.WeightAt(row.stream_uid, t);
-  }
-  return trial_weight_scratch_.data();
-}
-
 void BlockExecutor::AccumulateCertain(const ExecRow& row, int batch,
                                       GroupedAggregateState* target) {
   const EvalContext ctx = MainContext();
   GroupedAggregateState::GroupCells& cells =
       target->GetOrCreate(GroupKeyOf(row), batch);
   cells.last_touched = batch;
-  const int* trial_weights = TrialWeightsFor(row);
+  const bool defer = bootstrap_.num_trials() > 0;
   for (size_t a = 0; a < block_->aggs.size(); ++a) {
     const Value v = block_->aggs[a].arg->Eval(row.values, ctx);
-    cells.aggs[a].Add(v, row.weight, trial_weights);
+    cells.aggs[a].AddMainOnly(v, row.weight);
+    if (defer) {
+      deferred_certain_.push_back(
+          {&cells.aggs[a], v, row.weight, row.stream_uid, row.FromStream()});
+    }
   }
 }
 
-void BlockExecutor::AccumulatePending(const ExecRow& row, int batch,
-                                      GroupedAggregateState* temp) {
+void BlockExecutor::EvaluateRow(ExecRow* row, bool charge_regeneration,
+                                RowEval* ev) const {
+  RefreshRow(row, charge_regeneration);
+
+  // Classification with a buffered constraint sink: registrations are
+  // replayed by the serial apply phase (see ConstraintOp). This is the same
+  // code path in inline mode, so the engine behaves identically with and
+  // without a pool.
+  struct BufferedSink final : RangeConstraintSink {
+    std::vector<ConstraintOp>* ops;
+    void RequireUpper(int block, int col, const Row& key,
+                      double bound) override {
+      ops->push_back({ConstraintOp::Kind::kUpper, block, col, key, bound});
+    }
+    void RequireLower(int block, int col, const Row& key,
+                      double bound) override {
+      ops->push_back({ConstraintOp::Kind::kLower, block, col, key, bound});
+    }
+    void RequireContainment(int block, int col, const Row& key) override {
+      ops->push_back({ConstraintOp::Kind::kContainment, block, col, key});
+    }
+  };
+  BufferedSink sink;
+  sink.ops = &ev->constraints;
+  ev->truth = Classify(*row, &sink);
+
+  ev->pending_route =
+      ev->truth != IntervalTruth::kAlwaysFalse &&
+      !(ev->truth == IntervalTruth::kAlwaysTrue &&
+        !(block_->has_aggregate() && any_agg_arg_uncertain_));
+  if (!ev->pending_route) return;
+
+  // Non-deterministic path: precompute the main filter decision and the
+  // per-trial membership/argument evaluations. These read only the row and
+  // the registry (frozen during a batch), never the sketch, so they run
+  // concurrently per row; the contributions are applied serially later.
   EvalContext ctx = MainContext();
-  const bool main_pass =
-      block_->filter == nullptr ||
-      block_->filter->Eval(row.values, ctx).IsTruthy();
-  if (!block_->has_aggregate()) {
-    if (main_pass) pending_passing_.push_back(row);
-    return;
-  }
-  GroupedAggregateState::GroupCells* cells = nullptr;
-  const Row key = GroupKeyOf(row);
-  if (main_pass) {
-    cells = &temp->GetOrCreate(key, batch);
-    for (size_t a = 0; a < block_->aggs.size(); ++a) {
-      const Value v = block_->aggs[a].arg->Eval(row.values, ctx);
-      cells->aggs[a].AddMainOnly(v, row.weight);
+  ev->main_pass = block_->filter == nullptr ||
+                  block_->filter->Eval(row->values, ctx).IsTruthy();
+  if (!block_->has_aggregate()) return;
+  const size_t num_aggs = block_->aggs.size();
+  ev->key = GroupKeyOf(*row);
+  if (ev->main_pass) {
+    ev->main_vals.reserve(num_aggs);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      ev->main_vals.push_back(block_->aggs[a].arg->Eval(row->values, ctx));
     }
   }
   // Per-trial membership: the decision the filter takes under each
   // bootstrap resample, using the trial replicas of the aggregates it
   // reads. This is what makes the error estimate honest for tuples whose
   // membership is itself uncertain.
-  const int* trial_weights = TrialWeightsFor(row);
-  for (int t = 0; t < bootstrap_.num_trials(); ++t) {
+  const int trials = bootstrap_.num_trials();
+  ev->trial_w.assign(trials, 0.0);
+  ev->trial_vals.assign(static_cast<size_t>(trials) * num_aggs, Value());
+  for (int t = 0; t < trials; ++t) {
     const double w =
-        row.weight * (trial_weights != nullptr ? trial_weights[t] : 1);
+        row->weight *
+        (row->FromStream() ? bootstrap_.WeightAt(row->stream_uid, t) : 1);
     if (w == 0.0) continue;
     ctx.trial = t;
     if (block_->filter != nullptr &&
-        !block_->filter->Eval(row.values, ctx).IsTruthy()) {
+        !block_->filter->Eval(row->values, ctx).IsTruthy()) {
       continue;
     }
-    if (cells == nullptr) {
-      // Trial-only pass: contribute only when the group's existence is
-      // already established by a main-evaluation contribution (sketch or
-      // another pending row). A group passing only in resamples must not
-      // materialize in the output — Q(D_i) is defined by the main
-      // evaluation (ghost groups would violate Theorem 1); its trial
-      // replicas are folded only where the group exists.
-      if (sketch_.Find(key) == nullptr && temp->Find(key) == nullptr) {
-        continue;
-      }
-      cells = &temp->GetOrCreate(key, batch);
-    }
-    for (size_t a = 0; a < block_->aggs.size(); ++a) {
-      const Value v = block_->aggs[a].arg->Eval(row.values, ctx);
-      cells->aggs[a].AddTrialOnly(t, v, w);
+    ev->trial_w[t] = w;
+    for (size_t a = 0; a < num_aggs; ++a) {
+      ev->trial_vals[static_cast<size_t>(t) * num_aggs + a] =
+          block_->aggs[a].arg->Eval(row->values, ctx);
     }
   }
 }
 
-void BlockExecutor::RouteRow(ExecRow row, IntervalTruth truth, int batch,
+void BlockExecutor::ApplyPending(const ExecRow& row, size_t eval_idx,
+                                 int batch, GroupedAggregateState* temp) {
+  const RowEval& ev = row_scratch_[eval_idx];
+  if (!block_->has_aggregate()) {
+    if (ev.main_pass) pending_passing_.push_back(row);
+    return;
+  }
+  GroupedAggregateState::GroupCells* cells = nullptr;
+  if (ev.main_pass) {
+    cells = &temp->GetOrCreate(ev.key, batch);
+    for (size_t a = 0; a < block_->aggs.size(); ++a) {
+      cells->aggs[a].AddMainOnly(ev.main_vals[a], row.weight);
+    }
+  }
+  bool any_trial = false;
+  for (double w : ev.trial_w) any_trial = any_trial || w != 0.0;
+  if (!any_trial) return;
+  if (cells == nullptr) {
+    // Trial-only pass: contribute only when the group's existence is
+    // already established by a main-evaluation contribution (sketch or
+    // another pending row). A group passing only in resamples must not
+    // materialize in the output — Q(D_i) is defined by the main
+    // evaluation (ghost groups would violate Theorem 1); its trial
+    // replicas are folded only where the group exists. The check is
+    // loop-invariant across this row's trials (nothing mutates the maps
+    // between them), so one check covers all surviving trials.
+    if (sketch_.Find(ev.key) == nullptr && temp->Find(ev.key) == nullptr) {
+      return;
+    }
+    cells = &temp->GetOrCreate(ev.key, batch);
+  }
+  for (size_t a = 0; a < block_->aggs.size(); ++a) {
+    deferred_pending_.push_back({&cells->aggs[a],
+                                 static_cast<uint32_t>(eval_idx),
+                                 static_cast<uint32_t>(a)});
+  }
+}
+
+void BlockExecutor::FlushDeferredTrials() {
+  const int trials = bootstrap_.num_trials();
+  if (trials == 0 || (deferred_certain_.empty() && deferred_pending_.empty())) {
+    deferred_certain_.clear();
+    deferred_pending_.clear();
+    return;
+  }
+  const size_t num_aggs = block_->aggs.size();
+  const auto flush_range = [&](size_t begin, size_t end, size_t /*lane*/) {
+    for (size_t i = begin; i < end; ++i) {
+      const int t = static_cast<int>(i);
+      // Certain rows first, then pending rows, each in serial-apply order.
+      // The two lists target disjoint accumulators (sketch vs. the batch
+      // scratch), so per-accumulator add order equals row order — the same
+      // order the pre-parallel engine produced.
+      for (const CertainTrialAdd& rec : deferred_certain_) {
+        const double w = rec.from_stream
+                             ? rec.weight * bootstrap_.WeightAt(rec.uid, t)
+                             : rec.weight;
+        rec.acc->AddTrialOnly(t, rec.v, w);
+      }
+      for (const PendingTrialAdd& rec : deferred_pending_) {
+        const RowEval& ev = row_scratch_[rec.eval_idx];
+        const double w = ev.trial_w[i];
+        if (w == 0.0) continue;
+        rec.acc->AddTrialOnly(t, ev.trial_vals[i * num_aggs + rec.agg], w);
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelRanges(static_cast<size_t>(trials), flush_range);
+  } else {
+    flush_range(0, static_cast<size_t>(trials), 0);
+  }
+  deferred_certain_.clear();
+  deferred_pending_.clear();
+}
+
+void BlockExecutor::RouteRow(ExecRow row, size_t eval_idx, int batch,
                              GroupedAggregateState* temp,
-                             RowBatch* /*pending_passing*/,
                              std::vector<ExecRow>* new_pending) {
-  if (truth == IntervalTruth::kAlwaysFalse) return;
-  if (truth == IntervalTruth::kAlwaysTrue &&
-      !(block_->has_aggregate() && any_agg_arg_uncertain_)) {
+  const RowEval& ev = row_scratch_[eval_idx];
+  if (ev.truth == IntervalTruth::kAlwaysFalse) return;
+  if (!ev.pending_route) {
     if (block_->has_aggregate()) {
       AccumulateCertain(row, batch, &sketch_);
     } else {
@@ -240,7 +333,7 @@ void BlockExecutor::RouteRow(ExecRow row, IntervalTruth truth, int batch,
   }
   // Non-deterministic (or permanently unsketchable): contributes revocably
   // this batch and is saved for re-evaluation in the next one.
-  AccumulatePending(row, batch, temp);
+  ApplyPending(row, eval_idx, batch, temp);
   new_pending->push_back(std::move(row));
 }
 
@@ -274,13 +367,6 @@ int BlockExecutor::ProcessBatch(int batch, double scale,
   new_output_rows_.clear();
   std::vector<ExecRow> new_pending;
 
-  for (ExecRow& row : fresh) {
-    RefreshRow(&row, /*charge_regeneration=*/false);
-    const IntervalTruth truth = Classify(row);
-    RouteRow(std::move(row), truth, batch, &temp, &pending_passing_,
-             &new_pending);
-  }
-
   // Re-evaluate the saved non-deterministic set (§5.1: delta update based
   // on U_{i-1} and ΔD_i).
   stats->recomputed_rows += pending_.size();
@@ -288,15 +374,59 @@ int BlockExecutor::ProcessBatch(int batch, double scale,
     // Without OPT2 the saved tuples are re-shipped / re-derived.
     stats->shipped_bytes += BatchByteSize(pending_);
   }
-  for (ExecRow& row : pending_) {
-    RefreshRow(&row, /*charge_regeneration=*/true);
-    const IntervalTruth truth = Classify(row);
-    RouteRow(std::move(row), truth, batch, &temp, &pending_passing_,
-             &new_pending);
+
+  // Evaluation phase over fresh ∪ pending rows: refresh, classify (with
+  // buffered constraints), and the per-trial re-evaluations of rows bound
+  // for the non-deterministic path. Evaluations read only the row and the
+  // registry — which is frozen until the apply phase replays constraints
+  // and PublishOutput republishes — so rows are independent and the pass
+  // parallelizes without changing any outcome.
+  const size_t num_fresh = fresh.size();
+  const size_t total_rows = num_fresh + pending_.size();
+  row_scratch_.clear();
+  row_scratch_.resize(total_rows);
+  const auto evaluate = [&](size_t begin, size_t end, size_t /*lane*/) {
+    for (size_t i = begin; i < end; ++i) {
+      ExecRow& row = i < num_fresh ? fresh[i] : pending_[i - num_fresh];
+      EvaluateRow(&row, /*charge_regeneration=*/i >= num_fresh,
+                  &row_scratch_[i]);
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelRanges(total_rows, evaluate);
+  } else {
+    evaluate(0, total_rows, 0);
+  }
+
+  // Apply phase, serial in the original row order: replay the buffered
+  // range constraints, then route each row into the sketch / sink /
+  // non-deterministic set.
+  for (size_t i = 0; i < total_rows; ++i) {
+    for (const ConstraintOp& op : row_scratch_[i].constraints) {
+      switch (op.kind) {
+        case ConstraintOp::Kind::kUpper:
+          registry_->RequireUpper(op.block, op.col, op.key, op.bound);
+          break;
+        case ConstraintOp::Kind::kLower:
+          registry_->RequireLower(op.block, op.col, op.key, op.bound);
+          break;
+        case ConstraintOp::Kind::kContainment:
+          registry_->RequireContainment(op.block, op.col, op.key);
+          break;
+      }
+    }
+    ExecRow& row = i < num_fresh ? fresh[i] : pending_[i - num_fresh];
+    RouteRow(std::move(row), i, batch, &temp, &new_pending);
   }
   pending_ = std::move(new_pending);
 
-  return PublishOutput(batch, scale, temp, stats);
+  // Drain the deferred trial-replica contributions (trial-partitioned)
+  // before publication reads the accumulators.
+  FlushDeferredTrials();
+
+  const int rollback = PublishOutput(batch, scale, temp, stats);
+  row_scratch_.clear();
+  return rollback;
 }
 
 int BlockExecutor::PublishOutput(int batch, double scale,
@@ -342,135 +472,180 @@ int BlockExecutor::PublishOutput(int batch, double scale,
     return Value::Double(unscaled.AsDouble() * effective_scale);
   };
 
-  auto publish_group =
-      [&](const Row& key, const GroupedAggregateState::GroupCells* sketch_cells,
-          const GroupedAggregateState::GroupCells* temp_cells) {
-        if (temp_cells != nullptr) temp_keys_now.insert(key);
-        const bool dirty =
-            force_full_publish_ || temp_cells != nullptr ||
-            (sketch_cells != nullptr && sketch_cells->last_touched == batch) ||
-            prev_temp_keys_.count(key) > 0;
-        if (!dirty) {
-          // Untouched group: integrity-refresh the stored envelope under
-          // the new scale; values are unchanged.
-          const auto result = registry_->Refresh(block_->id, key, batch, track);
-          if (!result.missing) {
-            note_result(result);
-            if (collect_output_) {
-              OutputGroup group;
-              group.key = key;
-              const int base = static_cast<int>(block_->group_by.size());
-              group.main.reserve(block_->aggs.size());
-              for (size_t a = 0; a < block_->aggs.size(); ++a) {
-                group.main.push_back(
-                    registry_->Lookup(block_->id, base + static_cast<int>(a),
-                                      key));
-              }
-              if (collect_trials_) {
-                group.trials.resize(block_->aggs.size());
-                for (size_t a = 0; a < block_->aggs.size(); ++a) {
-                  group.trials[a].reserve(options_->num_trials);
-                  for (int t = 0; t < options_->num_trials; ++t) {
-                    const Value v = registry_->LookupTrial(
-                        block_->id, base + static_cast<int>(a), key, t);
-                    group.trials[a].push_back(v.is_null() ? 0.0 : v.AsDouble());
-                  }
-                }
-                if (options_->error_method == ErrorMethod::kAnalytic &&
-                    sketch_cells != nullptr) {
-                  std::vector<double> sd;
-                  sd.reserve(block_->aggs.size());
-                  for (size_t a = 0; a < block_->aggs.size(); ++a) {
-                    sd.push_back(AnalyticUnscaledStddev(
-                        block_->aggs[a].fn->name(),
-                        sketch_cells->aggs[a].moment_count(),
-                        sketch_cells->aggs[a].moment_variance()));
-                  }
-                  group.analytic_sd = DisplayAnalyticSd(sd, effective_scale);
-                }
-              }
-              latest_output_.push_back(std::move(group));
-            }
-            return;
-          }
-          // Never published (first batch after a restore): fall through.
-        }
+  const bool analytic = options_->error_method == ErrorMethod::kAnalytic;
 
-        // Materialize the group's unscaled results.
-        const bool analytic =
-            options_->error_method == ErrorMethod::kAnalytic;
-        std::vector<Value> main;
-        std::vector<std::vector<double>> trials;
-        std::vector<double> analytic_sd;
-        main.reserve(block_->aggs.size());
-        trials.reserve(block_->aggs.size());
-        for (size_t a = 0; a < block_->aggs.size(); ++a) {
-          if (sketch_cells != nullptr && temp_cells != nullptr) {
-            TrialAccumulatorSet merged = sketch_cells->aggs[a].Clone();
-            merged.Merge(temp_cells->aggs[a]);
-            main.push_back(merged.MainResult(1.0));
-            trials.push_back(merged.TrialResults(1.0));
-            if (analytic) {
-              analytic_sd.push_back(AnalyticUnscaledStddev(
-                  block_->aggs[a].fn->name(), merged.moment_count(),
-                  merged.moment_variance()));
-            }
-          } else {
-            const TrialAccumulatorSet& only =
-                sketch_cells != nullptr ? sketch_cells->aggs[a]
-                                        : temp_cells->aggs[a];
-            main.push_back(only.MainResult(1.0));
-            trials.push_back(only.TrialResults(1.0));
-            if (analytic) {
-              analytic_sd.push_back(AnalyticUnscaledStddev(
-                  block_->aggs[a].fn->name(), only.moment_count(),
-                  only.moment_variance()));
-            }
-          }
-        }
-        // Emit the group downstream the first time it appears.
-        if (feeds_join_ && emitted_set_.find(key) == emitted_set_.end()) {
-          emitted_set_.insert(key);
-          emitted_order_.push_back(key);
-          ExecRow out;
-          out.values = key;
-          for (size_t a = 0; a < main.size(); ++a) {
-            out.values.push_back(scale_value(a, main[a]));
-          }
-          new_output_rows_.push_back(std::move(out));
-        }
-        if (collect_output_) {
-          OutputGroup group;
-          group.key = key;
-          group.main.reserve(main.size());
-          for (size_t a = 0; a < main.size(); ++a) {
-            group.main.push_back(scale_value(a, main[a]));
-          }
-          if (collect_trials_) {
-            group.trials = trials;
-            for (size_t a = 0; a < trials.size(); ++a) {
-              if (block_->aggs[a].fn->ScalesLinearly() &&
-                  effective_scale != 1.0) {
-                for (double& x : group.trials[a]) x *= effective_scale;
-              }
-            }
-            if (analytic) {
-              group.analytic_sd = DisplayAnalyticSd(analytic_sd,
-                                                    effective_scale);
-            }
-          }
-          latest_output_.push_back(std::move(group));
-        }
-        note_result(registry_->Publish(block_->id, key, batch, std::move(main),
-                                       std::move(trials), track,
-                                       analytic ? &analytic_sd : nullptr));
-      };
-
+  // Ordered work list (sketch groups, then temp-only groups): the parallel
+  // phase below computes pure per-group materializations; the serial phase
+  // afterwards walks the same order doing all registry mutation, so the
+  // published state and emission order match the inline engine exactly.
+  struct PublishWork {
+    const Row* key;
+    const GroupedAggregateState::GroupCells* sketch_cells;
+    const GroupedAggregateState::GroupCells* temp_cells;
+    bool dirty;
+    std::vector<Value> main;                  // unscaled (dirty groups)
+    std::vector<std::vector<double>> trials;  // unscaled (dirty groups)
+    std::vector<double> analytic_sd;          // unscaled (dirty groups)
+    OutputGroup out;                          // when collect_output_
+  };
+  std::vector<PublishWork> work;
+  work.reserve(sketch_.num_groups() + temp.num_groups());
+  auto add_work = [&](const Row& key,
+                      const GroupedAggregateState::GroupCells* sketch_cells,
+                      const GroupedAggregateState::GroupCells* temp_cells) {
+    if (temp_cells != nullptr) temp_keys_now.insert(key);
+    const bool dirty =
+        force_full_publish_ || temp_cells != nullptr ||
+        (sketch_cells != nullptr && sketch_cells->last_touched == batch) ||
+        prev_temp_keys_.count(key) > 0;
+    work.push_back({&key, sketch_cells, temp_cells, dirty, {}, {}, {}, {}});
+  };
   for (const auto& [key, cells] : sketch_.groups()) {
-    publish_group(key, &cells, temp.Find(key));
+    add_work(key, &cells, temp.Find(key));
   }
   for (const auto& [key, cells] : temp.groups()) {
-    if (sketch_.Find(key) == nullptr) publish_group(key, nullptr, &cells);
+    if (sketch_.Find(key) == nullptr) add_work(key, nullptr, &cells);
+  }
+
+  // Materializes a dirty group's unscaled results (and, when collecting,
+  // its presentation OutputGroup). Pure: reads only the two accumulator
+  // cells; every mutation stays in the serial phase.
+  auto materialize = [&](PublishWork& w) {
+    w.main.clear();
+    w.trials.clear();
+    w.analytic_sd.clear();
+    w.main.reserve(block_->aggs.size());
+    w.trials.reserve(block_->aggs.size());
+    for (size_t a = 0; a < block_->aggs.size(); ++a) {
+      if (w.sketch_cells != nullptr && w.temp_cells != nullptr) {
+        TrialAccumulatorSet merged = w.sketch_cells->aggs[a].Clone();
+        merged.Merge(w.temp_cells->aggs[a]);
+        w.main.push_back(merged.MainResult(1.0));
+        w.trials.push_back(merged.TrialResults(1.0));
+        if (analytic) {
+          w.analytic_sd.push_back(AnalyticUnscaledStddev(
+              block_->aggs[a].fn->name(), merged.moment_count(),
+              merged.moment_variance()));
+        }
+      } else {
+        const TrialAccumulatorSet& only = w.sketch_cells != nullptr
+                                              ? w.sketch_cells->aggs[a]
+                                              : w.temp_cells->aggs[a];
+        w.main.push_back(only.MainResult(1.0));
+        w.trials.push_back(only.TrialResults(1.0));
+        if (analytic) {
+          w.analytic_sd.push_back(AnalyticUnscaledStddev(
+              block_->aggs[a].fn->name(), only.moment_count(),
+              only.moment_variance()));
+        }
+      }
+    }
+    if (collect_output_) {
+      OutputGroup group;
+      group.key = *w.key;
+      group.main.reserve(w.main.size());
+      for (size_t a = 0; a < w.main.size(); ++a) {
+        group.main.push_back(scale_value(a, w.main[a]));
+      }
+      if (collect_trials_) {
+        group.trials = w.trials;
+        for (size_t a = 0; a < group.trials.size(); ++a) {
+          if (block_->aggs[a].fn->ScalesLinearly() && effective_scale != 1.0) {
+            for (double& x : group.trials[a]) x *= effective_scale;
+          }
+        }
+        if (analytic) {
+          group.analytic_sd = DisplayAnalyticSd(w.analytic_sd,
+                                                effective_scale);
+        }
+      }
+      w.out = std::move(group);
+    }
+  };
+
+  // Builds a clean (untouched) group's OutputGroup from the registry's
+  // stored values. Const registry reads only — concurrency-safe; discarded
+  // in the rare case the serial Refresh below reports the group missing.
+  auto collect_clean = [&](PublishWork& w) {
+    OutputGroup group;
+    group.key = *w.key;
+    const int base = static_cast<int>(block_->group_by.size());
+    group.main.reserve(block_->aggs.size());
+    for (size_t a = 0; a < block_->aggs.size(); ++a) {
+      group.main.push_back(
+          registry_->Lookup(block_->id, base + static_cast<int>(a), *w.key));
+    }
+    if (collect_trials_) {
+      group.trials.resize(block_->aggs.size());
+      for (size_t a = 0; a < block_->aggs.size(); ++a) {
+        group.trials[a].reserve(options_->num_trials);
+        for (int t = 0; t < options_->num_trials; ++t) {
+          const Value v = registry_->LookupTrial(
+              block_->id, base + static_cast<int>(a), *w.key, t);
+          group.trials[a].push_back(v.is_null() ? 0.0 : v.AsDouble());
+        }
+      }
+      if (analytic && w.sketch_cells != nullptr) {
+        std::vector<double> sd;
+        sd.reserve(block_->aggs.size());
+        for (size_t a = 0; a < block_->aggs.size(); ++a) {
+          sd.push_back(AnalyticUnscaledStddev(
+              block_->aggs[a].fn->name(), w.sketch_cells->aggs[a].moment_count(),
+              w.sketch_cells->aggs[a].moment_variance()));
+        }
+        group.analytic_sd = DisplayAnalyticSd(sd, effective_scale);
+      }
+    }
+    w.out = std::move(group);
+  };
+
+  // Parallel phase: per-group trial re-materialization (and snapshot
+  // assembly), the per-batch ×trials hot spot of publication.
+  const auto prepare = [&](size_t i) {
+    PublishWork& w = work[i];
+    if (w.dirty) {
+      materialize(w);
+    } else if (collect_output_) {
+      collect_clean(w);
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(work.size(), prepare);
+  } else {
+    for (size_t i = 0; i < work.size(); ++i) prepare(i);
+  }
+
+  // Serial phase in work-list order: integrity checks, registry
+  // publication, downstream emission, snapshot assembly.
+  for (PublishWork& w : work) {
+    if (!w.dirty) {
+      // Untouched group: integrity-refresh the stored envelope under the
+      // new scale; values are unchanged.
+      const auto result = registry_->Refresh(block_->id, *w.key, batch, track);
+      if (!result.missing) {
+        note_result(result);
+        if (collect_output_) latest_output_.push_back(std::move(w.out));
+        continue;
+      }
+      // Never published (first batch after a restore): materialize and
+      // publish like a dirty group.
+      materialize(w);
+    }
+    // Emit the group downstream the first time it appears.
+    if (feeds_join_ && emitted_set_.find(*w.key) == emitted_set_.end()) {
+      emitted_set_.insert(*w.key);
+      emitted_order_.push_back(*w.key);
+      ExecRow out;
+      out.values = *w.key;
+      for (size_t a = 0; a < w.main.size(); ++a) {
+        out.values.push_back(scale_value(a, w.main[a]));
+      }
+      new_output_rows_.push_back(std::move(out));
+    }
+    if (collect_output_) latest_output_.push_back(std::move(w.out));
+    note_result(registry_->Publish(block_->id, *w.key, batch,
+                                   std::move(w.main), std::move(w.trials),
+                                   track, analytic ? &w.analytic_sd : nullptr));
   }
   prev_temp_keys_ = std::move(temp_keys_now);
   force_full_publish_ = false;

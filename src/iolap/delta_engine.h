@@ -8,6 +8,7 @@
 #include "bootstrap/error_estimate.h"
 #include "bootstrap/poisson_multiplicities.h"
 #include "catalog/partitioner.h"
+#include "common/thread_pool.h"
 #include "exec/batch.h"
 #include "exec/hash_aggregate.h"
 #include "exec/operators.h"
@@ -77,6 +78,13 @@ struct EngineOptions {
   /// decomposition) at compile time. Off by default; see
   /// plan/rewrite_rules.h and bench_ablation_rewrite.
   bool apply_rewrite_rules = false;
+  /// Worker threads for intra-batch parallelism (classification and
+  /// per-trial re-evaluation of the non-deterministic set, bootstrap trial
+  /// accumulation, group re-materialization). 0 = inline execution, no pool.
+  /// Results are bit-identical for every value — parallel phases only
+  /// *evaluate*; all state mutation happens in serial row/trial order (see
+  /// docs/INTERNALS.md, "Parallelism model").
+  size_t num_threads = 0;
 };
 
 /// Per-batch counters produced by one block (folded into BatchMetrics).
@@ -96,11 +104,13 @@ class BlockExecutor {
   /// Returned by ProcessBatch when no rollback is needed.
   static constexpr int kNoRollback = -2;
 
+  /// `pool` (nullable, not owned) provides intra-batch parallelism; null
+  /// runs every phase inline on the caller.
   BlockExecutor(const QueryPlan* plan, int block_id,
                 const std::vector<BlockAnnotations>* annotations,
                 const EngineOptions* options, AggregateRegistry* registry,
                 BootstrapWeights bootstrap, bool consumed_downstream,
-                bool feeds_join);
+                bool feeds_join, ThreadPool* pool = nullptr);
 
   /// Runs one mini-batch. `input_deltas[k]` holds the new rows of input k
   /// this batch; `scale` is m_i = |D| / |D_i|. Returns kNoRollback on
@@ -184,6 +194,66 @@ class BlockExecutor {
   void Reset();
 
  private:
+  // --- intra-batch parallelism ------------------------------------------
+  // ProcessBatch splits each hot loop into a pure *evaluation* phase (runs
+  // on the pool; reads only the row, the immutable plan, and the registry,
+  // which is frozen during a batch) and a serial *apply* phase that mutates
+  // engine state in the original row order. The same structure runs inline
+  // when no pool is attached, so results are bit-identical for every
+  // thread count.
+
+  /// One constraint registration buffered during parallel classification
+  /// and replayed onto the registry in serial row order. Replay-time
+  /// registration is equivalent: within a batch ConstrainUpper/Lower only
+  /// fold min/max bounds that always contain the tracker's current range,
+  /// so neither classification outcomes nor the final registered bounds
+  /// depend on registration order.
+  struct ConstraintOp {
+    enum class Kind : uint8_t { kUpper, kLower, kContainment };
+    Kind kind;
+    int block;
+    int col;
+    Row key;
+    double bound = 0.0;
+  };
+
+  /// Per-row output of the parallel evaluation phase.
+  struct RowEval {
+    IntervalTruth truth = IntervalTruth::kUndecided;
+    /// Row routes to the non-deterministic path (undecided, or decided
+    /// true but permanently unsketchable).
+    bool pending_route = false;
+    /// Main (trial = -1) filter decision of a pending-routed row.
+    bool main_pass = false;
+    Row key;                       // group key (aggregate blocks only)
+    std::vector<Value> main_vals;  // agg args at trial -1 (main_pass only)
+    /// Per-trial surviving weight; 0 = multiplicity zero or filter failed
+    /// under that resample.
+    std::vector<double> trial_w;
+    /// Agg args per surviving trial, flattened [t * num_aggs + a].
+    std::vector<Value> trial_vals;
+    std::vector<ConstraintOp> constraints;
+  };
+
+  /// Deferred trial-replica contribution of a certain row: the same value
+  /// lands in every trial accumulator, weighted by the row's bootstrap
+  /// multiplicity. Flushed by FlushDeferredTrials, partitioned by trial.
+  struct CertainTrialAdd {
+    TrialAccumulatorSet* acc;
+    Value v;
+    double weight;
+    uint64_t uid;
+    bool from_stream;
+  };
+
+  /// Deferred trial-replica contribution of a pending row: values and
+  /// weights differ per trial and live in row_scratch_[eval_idx].
+  struct PendingTrialAdd {
+    TrialAccumulatorSet* acc;
+    uint32_t eval_idx;
+    uint32_t agg;
+  };
+
   EvalContext MainContext() const;
 
   /// Incremental multi-way join of this batch's input deltas.
@@ -195,22 +265,38 @@ class BlockExecutor {
   /// through the block's join pipeline (hash probes + rematerialization).
   void RefreshRow(ExecRow* row, bool charge_regeneration) const;
 
-  /// Classifies the filter decision for `row` (§5.2 SELECT rule).
-  IntervalTruth Classify(const ExecRow& row) const;
+  /// Classifies the filter decision for `row` (§5.2 SELECT rule),
+  /// registering decided-outcome obligations onto `sink` (buffered; the
+  /// caller replays them serially).
+  IntervalTruth Classify(const ExecRow& row, RangeConstraintSink* sink) const;
 
-  /// Routes a classified row: sketch/sink for certain rows, the pending
-  /// (non-deterministic) set otherwise. Returns true if kept anywhere.
-  void RouteRow(ExecRow row, IntervalTruth truth, int batch,
-                GroupedAggregateState* temp, RowBatch* pending_passing,
-                std::vector<ExecRow>* new_pending);
+  /// Evaluation phase for one row: refresh, classify, and — when the row
+  /// routes to the non-deterministic path — the per-trial filter/argument
+  /// evaluations. Pure except for the in-place row refresh; safe to run
+  /// concurrently per row.
+  void EvaluateRow(ExecRow* row, bool charge_regeneration, RowEval* ev) const;
 
-  /// Adds a certain row's aggregate contributions to `target`.
+  /// Routes an evaluated row: sketch/sink for certain rows, the pending
+  /// (non-deterministic) set otherwise. Serial apply phase.
+  void RouteRow(ExecRow row, size_t eval_idx, int batch,
+                GroupedAggregateState* temp, std::vector<ExecRow>* new_pending);
+
+  /// Adds a certain row's aggregate contributions to `target`: main
+  /// accumulators immediately, trial replicas deferred to the flush.
   void AccumulateCertain(const ExecRow& row, int batch,
                          GroupedAggregateState* target);
 
-  /// Adds a pending row's revocable (per-trial) contributions to `temp`.
-  void AccumulatePending(const ExecRow& row, int batch,
-                         GroupedAggregateState* temp);
+  /// Applies a pending row's revocable contributions to `temp` from its
+  /// precomputed RowEval: main accumulators immediately, trial replicas
+  /// deferred to the flush.
+  void ApplyPending(const ExecRow& row, size_t eval_idx, int batch,
+                    GroupedAggregateState* temp);
+
+  /// Drains the deferred trial-replica adds, partitioned across the pool
+  /// by trial index: lanes own disjoint trial accumulators, and each
+  /// accumulator receives its adds in serial-apply (row) order, so the
+  /// result is bit-identical for every thread count.
+  void FlushDeferredTrials();
 
   /// Publishes sketch ∪ temp to the registry; returns rollback target or
   /// kNoRollback.
@@ -218,7 +304,6 @@ class BlockExecutor {
                     BlockBatchStats* stats);
 
   Row GroupKeyOf(const ExecRow& row) const;
-  const int* TrialWeightsFor(const ExecRow& row) const;
 
   /// Converts unscaled analytic stddevs into presentation stddevs: scaled
   /// like the aggregate and shrunk by the finite-population correction
@@ -239,6 +324,7 @@ class BlockExecutor {
   const BlockAnnotations* ann_;
   const EngineOptions* options_;
   AggregateRegistry* registry_;
+  ThreadPool* pool_;  // not owned; null = inline
   BootstrapWeights bootstrap_;
   bool consumed_downstream_;
   bool feeds_join_;
@@ -268,7 +354,13 @@ class BlockExecutor {
   /// contribution may have lapsed.
   std::unordered_set<Row, RowHash, RowEq> prev_temp_keys_;
 
-  mutable std::vector<int> trial_weight_scratch_;
+  // Per-batch scratch (cleared at the end of ProcessBatch; members only to
+  // reuse capacity across batches). Deferred records hold accumulator
+  // pointers, which are stable: GroupCells live in a node-based map and
+  // their `aggs` vectors are sized once at creation.
+  std::vector<RowEval> row_scratch_;
+  std::vector<CertainTrialAdd> deferred_certain_;
+  std::vector<PendingTrialAdd> deferred_pending_;
 };
 
 }  // namespace iolap

@@ -11,6 +11,12 @@ double QueryMetrics::TotalLatencySec() const {
   return total;
 }
 
+double QueryMetrics::TotalCpuSec() const {
+  double total = 0;
+  for (const auto& b : batches) total += b.cpu_sec;
+  return total;
+}
+
 uint64_t QueryMetrics::TotalRecomputedRows() const {
   uint64_t total = 0;
   for (const auto& b : batches) total += b.recomputed_rows;
@@ -71,9 +77,10 @@ double QueryMetrics::LatencyToFraction(double fraction) const {
 std::string QueryMetrics::Summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "batches=%zu total=%.3fs recomputed=%llu shipped=%.1fMB "
-                "failures=%d peak_join_state=%.1fMB peak_other_state=%.1fKB",
-                batches.size(), TotalLatencySec(),
+                "batches=%zu total=%.3fs cpu=%.3fs recomputed=%llu "
+                "shipped=%.1fMB failures=%d peak_join_state=%.1fMB "
+                "peak_other_state=%.1fKB",
+                batches.size(), TotalLatencySec(), TotalCpuSec(),
                 static_cast<unsigned long long>(TotalRecomputedRows()),
                 TotalShippedBytes() / 1e6, TotalFailureRecoveries(),
                 PeakJoinStateBytes() / 1e6, PeakOtherStateBytes() / 1e3);

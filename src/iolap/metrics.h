@@ -13,6 +13,11 @@ namespace iolap {
 struct BatchMetrics {
   int batch = 0;
   double latency_sec = 0.0;
+  /// Process CPU seconds consumed during the batch (all threads). With
+  /// intra-batch parallelism (EngineOptions::num_threads > 0) this exceeds
+  /// latency_sec; the ratio cpu_sec / latency_sec approximates the
+  /// effective parallel speedup of the batch.
+  double cpu_sec = 0.0;
   /// Fraction of the streamed relation processed after this batch.
   double fraction_processed = 0.0;
   /// New input tuples scanned this batch.
@@ -39,6 +44,9 @@ struct QueryMetrics {
   std::vector<BatchMetrics> batches;
 
   double TotalLatencySec() const;
+  /// Process CPU time summed over batches; compare with TotalLatencySec()
+  /// to see how much intra-batch parallelism the run achieved.
+  double TotalCpuSec() const;
   uint64_t TotalRecomputedRows() const;
   uint64_t TotalShippedBytes() const;
   uint64_t MaxShippedBytesPerBatch() const;
@@ -47,7 +55,11 @@ struct QueryMetrics {
   uint64_t PeakJoinStateBytes() const;
   uint64_t PeakOtherStateBytes() const;
   double AvgOtherStateBytes() const;
-  /// Latency of the earliest batch whose index is >= fraction * batches.
+  /// Cumulative latency until the result first covers `fraction` of the
+  /// streamed relation: sums latency_sec over batches (in order) through
+  /// the first batch whose fraction_processed reaches `fraction`. Keyed on
+  /// fraction_processed, not on batch index — with uneven mini-batch sizes
+  /// the two differ.
   double LatencyToFraction(double fraction) const;
 
   std::string Summary() const;

@@ -82,11 +82,19 @@ Status QueryController::Init() {
 
   registry_ = std::make_unique<AggregateRegistry>(&plan_, options_.slack);
   const BootstrapWeights bootstrap(options_.seed, options_.num_trials);
+  // Intra-batch parallelism: one pool shared by all executors. Blocks run
+  // serially in topological order; within a block the evaluation phases fan
+  // out and the apply phases stay serial, so results are bit-identical for
+  // every num_threads (including 0 = no pool).
+  pool_.reset();
+  if (options_.num_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
   executors_.clear();
   for (size_t b = 0; b < plan_.blocks.size(); ++b) {
     executors_.push_back(std::make_unique<BlockExecutor>(
         &plan_, static_cast<int>(b), &annotations_, &options_, registry_.get(),
-        bootstrap, consumed[b], feeds_join[b]));
+        bootstrap, consumed[b], feeds_join[b], pool_.get()));
     if (feeds_snapshot[b]) {
       // Snapshot consumers need keys + main values only; trial replicas
       // flow through lineage lookups.
@@ -197,6 +205,7 @@ Status QueryController::Run(const ResultObserver& observer) {
   const int num_batches = static_cast<int>(layout_.batches.size());
   for (int b = 0; b < num_batches; ++b) {
     WallTimer timer;
+    CpuTimer cpu_timer;
     BatchMetrics bm;
     bm.batch = b;
 
@@ -261,6 +270,7 @@ Status QueryController::Run(const ResultObserver& observer) {
     BuildResult(b);
 
     bm.latency_sec = timer.ElapsedSeconds();
+    bm.cpu_sec = cpu_timer.ElapsedSeconds();
     bm.fraction_processed = last_result_.fraction_processed;
     bm.input_rows = stats.input_rows;
     bm.recomputed_rows += stats.recomputed_rows;

@@ -8,6 +8,7 @@
 
 #include "bootstrap/error_estimate.h"
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "iolap/delta_engine.h"
 #include "iolap/metrics.h"
 
@@ -86,6 +87,10 @@ class QueryController {
   EngineOptions options_;
   std::vector<BlockAnnotations> annotations_;
   std::unique_ptr<AggregateRegistry> registry_;
+  /// Intra-batch worker pool shared by every executor (null when
+  /// options_.num_threads == 0). Declared before executors_ so it outlives
+  /// the BlockExecutors that borrow it.
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<BlockExecutor>> executors_;
 
   std::shared_ptr<const Table> streamed_table_;

@@ -35,6 +35,16 @@ int BenchTrials() {
   return trials < 0 ? 0 : trials;
 }
 
+size_t BenchThreads() {
+  // Clamp before the size_t cast: a negative value would wrap to a worker
+  // count in the quintillions and abort in ThreadPool's vector::reserve.
+  static const size_t threads = [] {
+    const double parsed = EnvDouble("IOLAP_BENCH_THREADS", 0.0);
+    return parsed < 0.0 ? size_t{0} : static_cast<size_t>(parsed);
+  }();
+  return threads;
+}
+
 std::shared_ptr<FunctionRegistry> BenchFunctions() {
   static const std::shared_ptr<FunctionRegistry> functions = [] {
     auto registry = FunctionRegistry::Default();
@@ -81,6 +91,7 @@ EngineOptions BenchOptions(ExecutionMode mode) {
   options.mode = mode;
   options.num_trials = BenchTrials();
   options.num_batches = BenchBatches();
+  options.num_threads = BenchThreads();
   options.slack = 2.0;
   options.seed = 1234;
   return options;

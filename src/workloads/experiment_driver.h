@@ -29,6 +29,11 @@ size_t BenchBatches();
 /// Default bootstrap trial count for benchmark runs (IOLAP_BENCH_TRIALS).
 int BenchTrials();
 
+/// Intra-batch worker threads for benchmark runs (IOLAP_BENCH_THREADS;
+/// default 0 = inline). Results are bit-identical across values — only
+/// per-batch wall time changes.
+size_t BenchThreads();
+
 /// Process-wide function registry with the Conviva UDFs registered.
 std::shared_ptr<FunctionRegistry> BenchFunctions();
 

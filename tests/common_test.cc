@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/hash.h"
@@ -105,6 +107,28 @@ TEST(RngTest, BoundedStaysInRange) {
   for (int i = 0; i < 10000; ++i) {
     EXPECT_LT(rng.NextBounded(17), 17u);
   }
+}
+
+TEST(RngTest, BoundZeroAndOneReturnZero) {
+  // Regression: NextBounded(0) computed `-0 % 0` (division by zero, UB).
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(0), 0u);
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, ForLaneIsDeterministicAndDecorrelated) {
+  // Same (seed, lane) → identical stream; different lanes → distinct
+  // streams; and lane 0 is not the plain Rng(seed) stream (the lane index
+  // is mixed into the seed, not appended to it).
+  Rng a = Rng::ForLane(7, 0), b = Rng::ForLane(7, 0);
+  Rng other_lane = Rng::ForLane(7, 1);
+  Rng other_seed = Rng::ForLane(8, 0);
+  const uint64_t first = a.NextUint64();
+  EXPECT_EQ(first, b.NextUint64());
+  EXPECT_NE(first, other_lane.NextUint64());
+  EXPECT_NE(first, other_seed.NextUint64());
 }
 
 TEST(RngTest, DoubleInUnitInterval) {
@@ -208,6 +232,87 @@ TEST(ThreadPoolTest, ParallelForSingleThreadedFallback) {
   std::vector<int> hits(64, 0);
   pool.ParallelFor(hits.size(), [&](size_t i) { hits[i] += 1; });
   for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelRangesCoversRangeWithStableLanes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1001);
+  std::atomic<size_t> max_lane{0};
+  pool.ParallelRanges(hits.size(), [&](size_t begin, size_t end, size_t lane) {
+    size_t seen = max_lane.load();
+    while (lane > seen && !max_lane.compare_exchange_weak(seen, lane)) {
+    }
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_LT(max_lane.load(), pool.num_lanes());
+}
+
+TEST(ThreadPoolTest, ParallelRangesInlineUsesLaneZero) {
+  ThreadPool pool(0);
+  ASSERT_EQ(pool.num_lanes(), 1u);
+  size_t calls = 0;
+  pool.ParallelRanges(64, [&](size_t begin, size_t end, size_t lane) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 64u);
+    EXPECT_EQ(lane, 0u);
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstTaskException) {
+  // Regression: an exception in a worker used to escape WorkerLoop and
+  // std::terminate the process; now it surfaces on the calling thread.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](size_t i) {
+                                  if (i == 37) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsSubmitException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("late"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error does not leak into the next Wait() epoch.
+  pool.Submit([] {});
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsAreIndependent) {
+  // Regression: ParallelFor used to track completion in the shared
+  // in_flight_ counter, so concurrent calls waited on each other's tasks
+  // (and could return before their own finished). Each call now has a
+  // private latch.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr size_t kPerCall = 500;
+  std::vector<std::atomic<int>> counts(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(kPerCall, [&, c](size_t) { counts[c].fetch_add(1); });
+      // Our own call must be fully drained once ParallelFor returns.
+      EXPECT_EQ(counts[c].load(), static_cast<int>(kPerCall));
+    });
+  }
+  for (auto& t : callers) t.join();
+}
+
+TEST(TimerTest, CpuTimerAdvancesWithWork) {
+  CpuTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 200000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  timer.Restart();
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
 }
 
 TEST(TimerTest, MeasuresElapsed) {

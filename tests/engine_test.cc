@@ -11,7 +11,12 @@
 #include "common/random.h"
 #include "exec/reference.h"
 #include "iolap/query_controller.h"
+#include "iolap/session.h"
 #include "plan/plan_builder.h"
+#include "workloads/conviva.h"
+#include "workloads/conviva_queries.h"
+#include "workloads/tpch.h"
+#include "workloads/tpch_queries.h"
 
 namespace iolap {
 namespace {
@@ -573,6 +578,168 @@ TEST(PruningTest, Opt1ShrinksNondeterministicSet) {
   const uint64_t pruned = run(true);
   const uint64_t conservative = run(false);
   EXPECT_LT(pruned, conservative / 2) << "OPT1 should prune most tuples";
+}
+
+// Bit-exact fingerprint of one run: every partial result's rows and error
+// estimates (exact double bits, via ToString with full precision would
+// round — so store the raw values) plus the recomputation counters.
+struct RunFingerprint {
+  std::vector<Table> partial_rows;
+  std::vector<std::vector<std::vector<ErrorEstimate>>> estimates;
+  uint64_t recomputed_rows = 0;
+  int failure_recoveries = 0;
+};
+
+void ExpectBitIdentical(const RunFingerprint& a, const RunFingerprint& b,
+                        const std::string& context) {
+  EXPECT_EQ(a.recomputed_rows, b.recomputed_rows) << context;
+  EXPECT_EQ(a.failure_recoveries, b.failure_recoveries) << context;
+  ASSERT_EQ(a.partial_rows.size(), b.partial_rows.size()) << context;
+  for (size_t p = 0; p < a.partial_rows.size(); ++p) {
+    const Table& ta = a.partial_rows[p];
+    const Table& tb = b.partial_rows[p];
+    ASSERT_EQ(ta.num_rows(), tb.num_rows()) << context << " batch " << p;
+    for (size_t r = 0; r < ta.num_rows(); ++r) {
+      ASSERT_EQ(ta.row(r).size(), tb.row(r).size()) << context;
+      for (size_t c = 0; c < ta.row(r).size(); ++c) {
+        // Bit-identical, not approximately equal: Equals on doubles is
+        // exact equality, which is the whole point of this test.
+        EXPECT_TRUE(ta.row(r)[c].Equals(tb.row(r)[c]))
+            << context << " batch " << p << " row " << r << " col " << c
+            << ": " << ta.row(r)[c].ToString() << " vs "
+            << tb.row(r)[c].ToString();
+      }
+    }
+    ASSERT_EQ(a.estimates[p].size(), b.estimates[p].size()) << context;
+    for (size_t r = 0; r < a.estimates[p].size(); ++r) {
+      ASSERT_EQ(a.estimates[p][r].size(), b.estimates[p][r].size()) << context;
+      for (size_t k = 0; k < a.estimates[p][r].size(); ++k) {
+        const ErrorEstimate& ea = a.estimates[p][r][k];
+        const ErrorEstimate& eb = b.estimates[p][r][k];
+        EXPECT_EQ(ea.value, eb.value) << context;
+        EXPECT_EQ(ea.stddev, eb.stddev) << context;
+        EXPECT_EQ(ea.ci_lo, eb.ci_lo) << context;
+        EXPECT_EQ(ea.ci_hi, eb.ci_hi) << context;
+      }
+    }
+  }
+}
+
+// The tentpole invariant: results are bit-identical regardless of thread
+// count. The parallel phases only evaluate; all accumulation and constraint
+// registration replays in serial row/trial order, and per-lane RNGs are
+// split deterministically (Rng::ForLane), so num_threads is purely a
+// performance knob.
+TEST(ParallelDeterminismTest, ThreadCountDoesNotChangeResults) {
+  Catalog catalog;
+  FillCatalog(&catalog, 1200, /*seed=*/23);
+  auto functions = FunctionRegistry::Default();
+
+  // An SBI query (non-deterministic set + per-trial re-evaluation) and a
+  // grouped join (group materialization) — together they cover every
+  // parallelized loop.
+  for (QueryShape shape : {QueryShape::kSbi, QueryShape::kGroupedSpja}) {
+    auto plan = BuildQuery(shape, catalog, functions);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+
+    auto run = [&](size_t num_threads) {
+      EngineOptions options;
+      options.num_trials = 20;
+      options.num_batches = 6;
+      options.slack = 2.0;
+      options.seed = 11;
+      options.num_threads = num_threads;
+      QueryController controller(&catalog, *plan, options);
+      EXPECT_TRUE(controller.Init().ok());
+      RunFingerprint fp;
+      Status run_status = controller.Run([&](const PartialResult& partial) {
+        fp.partial_rows.push_back(partial.rows);
+        fp.estimates.push_back(partial.estimates);
+        return BatchAction::kContinue;
+      });
+      EXPECT_TRUE(run_status.ok()) << run_status;
+      fp.recomputed_rows = controller.metrics().TotalRecomputedRows();
+      fp.failure_recoveries = controller.metrics().TotalFailureRecoveries();
+      return fp;
+    };
+
+    const RunFingerprint inline_run = run(0);
+    const RunFingerprint one_thread = run(1);
+    const RunFingerprint four_threads = run(4);
+    ASSERT_EQ(inline_run.partial_rows.size(), 6u);
+    const char* shape_name =
+        shape == QueryShape::kSbi ? "sbi" : "grouped_spja";
+    ExpectBitIdentical(inline_run, one_thread,
+                       std::string(shape_name) + " threads 0 vs 1");
+    ExpectBitIdentical(inline_run, four_threads,
+                       std::string(shape_name) + " threads 0 vs 4");
+  }
+}
+
+// Same invariant end-to-end through Session/SQL on the paper's workloads:
+// one nested TPC-H query and one nested Conviva query, small scale.
+TEST(ParallelDeterminismTest, WorkloadQueriesViaSession) {
+  auto functions = FunctionRegistry::Default();
+  RegisterConvivaUdfs(functions.get());
+
+  struct Case {
+    std::string name;
+    std::shared_ptr<Catalog> catalog;
+    std::string sql;
+  };
+  std::vector<Case> cases;
+
+  const std::vector<BenchQuery> tpch_queries = TpchQueries();
+  for (const BenchQuery& q : tpch_queries) {
+    if (!q.nested) continue;
+    TpchConfig config;
+    auto catalog = MakeTpchCatalog(config.Scaled(0.02), q.streamed_table);
+    ASSERT_TRUE(catalog.ok()) << catalog.status();
+    cases.push_back({"tpch_" + q.id, *catalog, q.sql});
+    break;
+  }
+  const std::vector<BenchQuery> conviva_queries = ConvivaQueries();
+  for (const BenchQuery& q : conviva_queries) {
+    if (!q.nested) continue;
+    ConvivaConfig config;
+    auto catalog = MakeConvivaCatalog(config.Scaled(0.02));
+    ASSERT_TRUE(catalog.ok()) << catalog.status();
+    cases.push_back({"conviva_" + q.id, *catalog, q.sql});
+    break;
+  }
+  ASSERT_EQ(cases.size(), 2u);
+
+  for (const Case& c : cases) {
+    auto run = [&](size_t num_threads) {
+      EngineOptions options;
+      options.num_trials = 15;
+      options.num_batches = 5;
+      options.slack = 2.0;
+      options.seed = 77;
+      options.num_threads = num_threads;
+      Session session(c.catalog.get(), options, functions);
+      RunFingerprint fp;
+      auto compiled = session.Sql(c.sql);
+      EXPECT_TRUE(compiled.ok()) << c.name << ": " << compiled.status();
+      if (!compiled.ok()) return fp;
+      Status run_status = (*compiled)->Run([&](const PartialResult& partial) {
+        fp.partial_rows.push_back(partial.rows);
+        fp.estimates.push_back(partial.estimates);
+        return BatchAction::kContinue;
+      });
+      EXPECT_TRUE(run_status.ok()) << c.name << ": " << run_status;
+      fp.recomputed_rows = (*compiled)->metrics().TotalRecomputedRows();
+      fp.failure_recoveries = (*compiled)->metrics().TotalFailureRecoveries();
+      return fp;
+    };
+
+    const RunFingerprint inline_run = run(0);
+    const RunFingerprint one_thread = run(1);
+    const RunFingerprint four_threads = run(4);
+    ASSERT_EQ(inline_run.partial_rows.size(), 5u) << c.name;
+    ExpectBitIdentical(inline_run, one_thread, c.name + " threads 0 vs 1");
+    ExpectBitIdentical(inline_run, four_threads, c.name + " threads 0 vs 4");
+  }
 }
 
 }  // namespace

@@ -15,6 +15,7 @@ QueryMetrics MakeMetrics() {
     BatchMetrics bm;
     bm.batch = b;
     bm.latency_sec = 0.1 * (b + 1);
+    bm.cpu_sec = 0.2 * (b + 1);
     bm.fraction_processed = 0.25 * (b + 1);
     bm.input_rows = 100;
     bm.recomputed_rows = 10 * b;
@@ -38,6 +39,8 @@ TEST(MetricsTest, Totals) {
   EXPECT_EQ(metrics.PeakJoinStateBytes(), 1300u);
   EXPECT_EQ(metrics.PeakOtherStateBytes(), 500u);
   EXPECT_NEAR(metrics.AvgOtherStateBytes(), 425.0, 1e-9);
+  // cpu/latency ≈ 2: the batches "used" two workers' worth of CPU.
+  EXPECT_NEAR(metrics.TotalCpuSec(), 2.0, 1e-9);
 }
 
 TEST(MetricsTest, LatencyToFraction) {
@@ -46,6 +49,25 @@ TEST(MetricsTest, LatencyToFraction) {
   EXPECT_NEAR(metrics.LatencyToFraction(0.25), 0.1, 1e-9);
   EXPECT_NEAR(metrics.LatencyToFraction(0.30), 0.3, 1e-9);
   EXPECT_NEAR(metrics.LatencyToFraction(1.0), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, LatencyToFractionKeysOnFractionNotBatchIndex) {
+  // Uneven batches: the target fraction is reached by whichever batch's
+  // fraction_processed crosses it, not by batch position. Batch 0 already
+  // covers 60% of the data here.
+  QueryMetrics metrics;
+  const double fractions[] = {0.6, 0.7, 1.0};
+  for (int b = 0; b < 3; ++b) {
+    BatchMetrics bm;
+    bm.batch = b;
+    bm.latency_sec = 0.1;
+    bm.fraction_processed = fractions[b];
+    metrics.batches.push_back(bm);
+  }
+  EXPECT_NEAR(metrics.LatencyToFraction(0.05), 0.1, 1e-9);
+  EXPECT_NEAR(metrics.LatencyToFraction(0.60), 0.1, 1e-9);
+  EXPECT_NEAR(metrics.LatencyToFraction(0.65), 0.2, 1e-9);
+  EXPECT_NEAR(metrics.LatencyToFraction(0.99), 0.3, 1e-9);
 }
 
 TEST(MetricsTest, EmptyMetrics) {
