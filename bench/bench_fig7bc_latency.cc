@@ -15,7 +15,7 @@ using namespace iolap;  // NOLINT — bench brevity
 namespace {
 
 int RunWorkload(const char* figure, const std::vector<BenchQuery>& queries,
-                bool conviva) {
+                bool conviva, bench::JsonWriter* json) {
   bench::Header(figure,
                 conviva ? "Conviva query latency: baseline vs iOLAP"
                         : "TPC-H query latency: baseline vs iOLAP",
@@ -52,6 +52,16 @@ int RunWorkload(const char* figure, const std::vector<BenchQuery>& queries,
                 query.id.c_str(), baseline_s, at5, at10, full_s,
                 baseline_s > 0 ? full_s / baseline_s : 0.0, cpu_s,
                 full_s > 0 ? cpu_s / full_s : 0.0);
+    const std::string prefix = conviva ? "conviva_" : "tpch_";
+    const uint64_t rows = bench::TotalInputRows(iolap_run->metrics);
+    json->Add(prefix + query.id + "_baseline", baseline_s,
+              baseline->metrics.TotalCpuSec(),
+              baseline_s > 0
+                  ? bench::TotalInputRows(baseline->metrics) / baseline_s
+                  : 0.0,
+              BenchThreads());
+    json->Add(prefix + query.id + "_iolap", full_s, cpu_s,
+              full_s > 0 ? rows / full_s : 0.0, BenchThreads());
   }
   return 0;
 }
@@ -59,9 +69,15 @@ int RunWorkload(const char* figure, const std::vector<BenchQuery>& queries,
 }  // namespace
 
 int main() {
-  if (int rc = RunWorkload("Figure 7(b)", TpchQueries(), false); rc != 0) {
+  bench::JsonWriter json("BENCH_fig7.json");
+  if (int rc = RunWorkload("Figure 7(b)", TpchQueries(), false, &json);
+      rc != 0) {
     return rc;
   }
   std::printf("\n");
-  return RunWorkload("Figure 7(c)", ConvivaQueries(), true);
+  if (int rc = RunWorkload("Figure 7(c)", ConvivaQueries(), true, &json);
+      rc != 0) {
+    return rc;
+  }
+  return json.Flush() ? 0 : 1;
 }

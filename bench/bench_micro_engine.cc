@@ -4,10 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "bootstrap/poisson_multiplicities.h"
 #include "bootstrap/trial_accumulator.h"
 #include "core/expr.h"
 #include "core/function_registry.h"
+#include "exec/expr_program.h"
 #include "exec/hash_aggregate.h"
 #include "exec/operators.h"
 #include "workloads/experiment_driver.h"
@@ -31,6 +33,92 @@ void BM_ExprEval(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExprEval);
+
+// The per-trial hot loop of an uncertain row, interpreter vs compiled
+// program. Workload shape: a filter referencing an upstream aggregate (the
+// trial-variant part) over a trial-invariant arithmetic subexpression, plus
+// two aggregate arguments — what the delta engine evaluates per pending row
+// per batch. The compiled variant binds once (hoisted prologue + one
+// batched probe) and replays only the epilogue per trial.
+class TrialResolver final : public AggLookupResolver {
+ public:
+  Value Lookup(int, int, const Row&) const override {
+    return Value::Double(937.5);
+  }
+  Value LookupTrial(int, int, const Row&, int trial) const override {
+    return Value::Double(937.5 + 0.25 * trial);
+  }
+  void LookupTrials(int, int, const Row&, int num_trials,
+                    Value* out) const override {
+    for (int t = 0; t < num_trials; ++t) {
+      out[t] = Value::Double(937.5 + 0.25 * t);
+    }
+  }
+  Interval LookupRange(int, int, const Row&) const override {
+    return Interval::Unbounded();
+  }
+};
+
+std::vector<ExprPtr> HotLoopRoots() {
+  auto revenue = Mul(Col(0, "price", ValueType::kDouble),
+                     Sub(Lit(1.0), Col(1, "discount", ValueType::kDouble)));
+  auto lookup = std::make_shared<AggLookupExpr>(
+      0, 1, std::vector<ExprPtr>{Col(3, "key", ValueType::kInt64)},
+      ValueType::kDouble, "avg_rev");
+  // roots[0] = filter, roots[1..2] = aggregate arguments.
+  return {And(Gt(revenue, ExprPtr(lookup)),
+              Lt(Col(2, "quantity", ValueType::kDouble), Lit(24.0))),
+          revenue, Col(2, "quantity", ValueType::kDouble)};
+}
+
+const Row kHotLoopRow = {Value::Double(1500), Value::Double(0.05),
+                         Value::Double(10), Value::Int64(7)};
+
+void BM_ExprProgramInterpreter(benchmark::State& state) {
+  const int trials = static_cast<int>(state.range(0));
+  auto functions = FunctionRegistry::Default();
+  TrialResolver resolver;
+  EvalContext ctx;
+  ctx.functions = functions.get();
+  ctx.resolver = &resolver;
+  const std::vector<ExprPtr> roots = HotLoopRoots();
+  for (auto _ : state) {
+    for (int t = 0; t < trials; ++t) {
+      ctx.trial = t;
+      if (roots[0]->Eval(kHotLoopRow, ctx).IsTruthy()) {
+        benchmark::DoNotOptimize(roots[1]->Eval(kHotLoopRow, ctx));
+        benchmark::DoNotOptimize(roots[2]->Eval(kHotLoopRow, ctx));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * trials);
+}
+BENCHMARK(BM_ExprProgramInterpreter)->Arg(20)->Arg(100);
+
+void BM_ExprProgramCompiled(benchmark::State& state) {
+  const int trials = static_cast<int>(state.range(0));
+  auto functions = FunctionRegistry::Default();
+  TrialResolver resolver;
+  const std::vector<ExprPtr> roots = HotLoopRoots();
+  auto program = ExprProgram::Compile(roots, functions.get(), nullptr);
+  if (program == nullptr) {
+    state.SkipWithError("hot-loop roots did not compile");
+    return;
+  }
+  ExprProgramState prog_state;
+  program->InitState(&prog_state);
+  std::vector<double> weights(trials);
+  std::vector<Value> values(static_cast<size_t>(trials) * 2);
+  for (auto _ : state) {
+    program->Bind(&prog_state, kHotLoopRow, &resolver, trials);
+    for (int t = 0; t < trials; ++t) weights[t] = 1.0;
+    benchmark::DoNotOptimize(program->EvalTrials(
+        &prog_state, kHotLoopRow, trials, /*pred_root=*/0,
+        /*first_val_root=*/1, 2, weights.data(), values.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * trials);
+}
+BENCHMARK(BM_ExprProgramCompiled)->Arg(20)->Arg(100);
 
 // The §5 classification check: interval comparison against a variation
 // range — the per-tuple cost of tuple-uncertainty partitioning.
@@ -178,7 +266,44 @@ BENCHMARK(BM_EngineBatch)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Console output as usual, plus every run appended to BENCH_micro.json in
+// the uniform schema (per-iteration seconds; rows_per_sec from
+// SetItemsProcessed where the bench declares an item count).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  // OO_Tabular (not OO_Defaults): the default forces ANSI color even when
+  // stdout is redirected into bench_results/*.txt.
+  explicit JsonTeeReporter(bench::JsonWriter* json)
+      : ConsoleReporter(OO_Tabular), json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      double rows_per_sec = 0.0;
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) rows_per_sec = it->second;
+      json_->Add(run.benchmark_name(), run.real_accumulated_time / iters,
+                 run.cpu_accumulated_time / iters, rows_per_sec,
+                 static_cast<size_t>(run.threads));
+    }
+  }
+
+ private:
+  bench::JsonWriter* json_;
+};
+
 }  // namespace
 }  // namespace iolap
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  iolap::bench::JsonWriter json("BENCH_micro.json");
+  iolap::JsonTeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return json.Flush() ? 0 : 1;
+}

@@ -19,6 +19,12 @@
 
 #include "workloads/experiment_driver.h"
 
+// Machine-readable companion output: benches also emit a BENCH_<id>.json
+// in the working directory so dashboards and regression scripts don't have
+// to parse the human-oriented tab format. Uniform row schema:
+//   {"name": ..., "wall_sec": ..., "cpu_sec": ..., "rows_per_sec": ...,
+//    "threads": ...}
+
 namespace iolap {
 namespace bench {
 
@@ -26,6 +32,72 @@ inline void Header(const std::string& figure, const std::string& description,
                    const std::string& columns) {
   std::printf("# %s: %s\n", figure.c_str(), description.c_str());
   std::printf("# columns: %s\n", columns.c_str());
+}
+
+/// Accumulates rows of the uniform schema and writes them as a JSON array
+/// to `path` in the working directory. Names are expected to be plain
+/// identifiers (bench + query ids); the writer escapes quotes/backslashes
+/// anyway so odd names can't corrupt the file.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  void Add(const std::string& name, double wall_sec, double cpu_sec,
+           double rows_per_sec, size_t threads) {
+    rows_.push_back(Entry{name, wall_sec, cpu_sec, rows_per_sec, threads});
+  }
+
+  /// Writes the file; returns false (and prints to stderr) on I/O failure.
+  bool Flush() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Entry& e = rows_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"wall_sec\": %.9g, "
+                   "\"cpu_sec\": %.9g, \"rows_per_sec\": %.1f, "
+                   "\"threads\": %zu}%s\n",
+                   Escaped(e.name).c_str(), e.wall_sec, e.cpu_sec,
+                   e.rows_per_sec, e.threads, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double wall_sec;
+    double cpu_sec;
+    double rows_per_sec;
+    size_t threads;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Entry> rows_;
+};
+
+/// Input tuples folded in across all batches of a run (the denominator of
+/// the JSON rows_per_sec column).
+inline uint64_t TotalInputRows(const QueryMetrics& metrics) {
+  uint64_t total = 0;
+  for (const BatchMetrics& b : metrics.batches) total += b.input_rows;
+  return total;
 }
 
 /// Worst relative standard deviation across all estimated cells of a

@@ -7,6 +7,13 @@
 
 namespace iolap {
 
+void AggLookupResolver::LookupTrials(int block_id, int col, const Row& key,
+                                     int num_trials, Value* out) const {
+  for (int t = 0; t < num_trials; ++t) {
+    out[t] = LookupTrial(block_id, col, key, t);
+  }
+}
+
 namespace {
 
 // Numeric result type with SQL-ish promotion.

@@ -25,6 +25,23 @@ bool AnyNull(const std::vector<Value>& args) {
                      [](const Value& v) { return v.is_null(); });
 }
 
+bool AnyNullNum(const NumericValue* args, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (args[i].is_null()) return true;
+  }
+  return false;
+}
+
+// Value::Compare restricted to numerics (both operands numeric or NULL-free
+// here): compares through AsDouble, exactly like the boxed path.
+int CompareNum(const NumericValue& a, const NumericValue& b) {
+  const double x = a.AsDouble();
+  const double y = b.AsDouble();
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
 // ------------------------------- built-in smooth UDAF implementations
 
 // GEOMEAN(x) = exp(weighted mean of log x); non-positive inputs skipped.
@@ -173,7 +190,11 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
            if (AnyNull(args)) return Value::Null();
            return Value::Double(fn(args[0].AsDouble()));
          },
-         monotone});
+         monotone,
+         [fn](const NumericValue* args, size_t n) -> NumericValue {
+           if (AnyNullNum(args, n)) return NumericValue::Null();
+           return NumericValue::Dbl(fn(args[0].AsDouble()));
+         }});
   };
   unary_math("abs", [](double x) { return std::fabs(x); }, false);
   unary_math("sqrt", [](double x) { return x < 0 ? 0.0 : std::sqrt(x); }, true);
@@ -189,7 +210,12 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
          if (AnyNull(args)) return Value::Null();
          return Value::Double(std::pow(args[0].AsDouble(), args[1].AsDouble()));
        },
-       false});
+       false,
+       [](const NumericValue* args, size_t n) -> NumericValue {
+         if (AnyNullNum(args, n)) return NumericValue::Null();
+         return NumericValue::Dbl(std::pow(args[0].AsDouble(),
+                                           args[1].AsDouble()));
+       }});
   registry->RegisterScalar(
       {"mod", 2, Int64Type,
        [](const std::vector<Value>& args) -> Value {
@@ -198,7 +224,13 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
          if (d == 0) return Value::Null();
          return Value::Int64(static_cast<int64_t>(args[0].AsDouble()) % d);
        },
-       false});
+       false,
+       [](const NumericValue* args, size_t n) -> NumericValue {
+         if (AnyNullNum(args, n)) return NumericValue::Null();
+         const int64_t d = static_cast<int64_t>(args[1].AsDouble());
+         if (d == 0) return NumericValue::Null();
+         return NumericValue::Int(static_cast<int64_t>(args[0].AsDouble()) % d);
+       }});
   registry->RegisterScalar(
       {"least", -1, FirstArgType,
        [](const std::vector<Value>& args) -> Value {
@@ -209,7 +241,15 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
          }
          return best;
        },
-       false});
+       false,
+       [](const NumericValue* args, size_t n) -> NumericValue {
+         NumericValue best;
+         for (size_t i = 0; i < n; ++i) {
+           if (args[i].is_null()) continue;
+           if (best.is_null() || CompareNum(args[i], best) < 0) best = args[i];
+         }
+         return best;
+       }});
   registry->RegisterScalar(
       {"greatest", -1, FirstArgType,
        [](const std::vector<Value>& args) -> Value {
@@ -220,7 +260,15 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
          }
          return best;
        },
-       false});
+       false,
+       [](const NumericValue* args, size_t n) -> NumericValue {
+         NumericValue best;
+         for (size_t i = 0; i < n; ++i) {
+           if (args[i].is_null()) continue;
+           if (best.is_null() || CompareNum(args[i], best) > 0) best = args[i];
+         }
+         return best;
+       }});
   registry->RegisterScalar(
       {"if", 3,
        [](const std::vector<ValueType>& args) {
@@ -229,7 +277,10 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
        [](const std::vector<Value>& args) -> Value {
          return args[0].IsTruthy() ? args[1] : args[2];
        },
-       false});
+       false,
+       [](const NumericValue* args, size_t) -> NumericValue {
+         return args[0].IsTruthy() ? args[1] : args[2];
+       }});
   registry->RegisterScalar(
       {"coalesce", -1, FirstArgType,
        [](const std::vector<Value>& args) -> Value {
@@ -238,7 +289,13 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
          }
          return Value::Null();
        },
-       false});
+       false,
+       [](const NumericValue* args, size_t n) -> NumericValue {
+         for (size_t i = 0; i < n; ++i) {
+           if (!args[i].is_null()) return args[i];
+         }
+         return NumericValue::Null();
+       }});
   registry->RegisterScalar(
       {"length", 1, Int64Type,
        [](const std::vector<Value>& args) -> Value {

@@ -97,17 +97,39 @@ size_t RowByteSize(const Row& row);
 
 std::string RowToString(const Row& row);
 
-/// Functors for using Row as a hash-map key.
+/// A row key paired with its precomputed hash, for heterogeneous probes of
+/// Row-keyed hash maps: callers that already know HashRow(*row) (the apply
+/// phase hashes each group key once per batch) probe with this instead of
+/// paying a re-hash per map.
+struct HashedRowRef {
+  const Row* row;
+  uint64_t hash;
+};
+
+/// Functors for using Row as a hash-map key. Transparent (C++20 P0919) so
+/// lookups accept HashedRowRef without re-hashing or materializing a Row.
 struct RowHash {
+  using is_transparent = void;
   size_t operator()(const Row& row) const { return HashRow(row); }
+  size_t operator()(const HashedRowRef& ref) const { return ref.hash; }
 };
 struct RowEq {
+  using is_transparent = void;
   bool operator()(const Row& a, const Row& b) const {
     if (a.size() != b.size()) return false;
     for (size_t i = 0; i < a.size(); ++i) {
       if (!a[i].Equals(b[i])) return false;
     }
     return true;
+  }
+  bool operator()(const HashedRowRef& a, const Row& b) const {
+    return operator()(*a.row, b);
+  }
+  bool operator()(const Row& a, const HashedRowRef& b) const {
+    return operator()(a, *b.row);
+  }
+  bool operator()(const HashedRowRef& a, const HashedRowRef& b) const {
+    return operator()(*a.row, *b.row);
   }
 };
 

@@ -16,9 +16,25 @@ GroupedAggregateState::GroupCells& GroupedAggregateState::GetOrCreate(
   return it->second;
 }
 
+GroupedAggregateState::GroupCells& GroupedAggregateState::GetOrCreate(
+    const Row& key, uint64_t hash, int batch, bool* created) {
+  auto it = groups_.find(HashedRowRef{&key, hash});
+  if (it != groups_.end()) {
+    if (created != nullptr) *created = false;
+    return it->second;
+  }
+  return GetOrCreate(key, batch, created);
+}
+
 const GroupedAggregateState::GroupCells* GroupedAggregateState::Find(
     const Row& key) const {
   auto it = groups_.find(key);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+const GroupedAggregateState::GroupCells* GroupedAggregateState::Find(
+    const Row& key, uint64_t hash) const {
+  auto it = groups_.find(HashedRowRef{&key, hash});
   return it == groups_.end() ? nullptr : &it->second;
 }
 

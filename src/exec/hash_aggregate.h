@@ -39,7 +39,21 @@ class GroupedAggregateState {
   /// reports whether the group is new.
   GroupCells& GetOrCreate(const Row& key, int batch, bool* created = nullptr);
 
+  /// Same, with a precomputed HashRow(key): probes via heterogeneous lookup
+  /// so the key is not re-hashed. Only group *creation* (the rare path)
+  /// re-hashes, because try_emplace cannot take a caller-supplied hash.
+  GroupCells& GetOrCreate(const Row& key, uint64_t hash, int batch,
+                          bool* created = nullptr);
+
   const GroupCells* Find(const Row& key) const;
+
+  /// Find with a precomputed HashRow(key); never re-hashes.
+  const GroupCells* Find(const Row& key, uint64_t hash) const;
+
+  /// Pre-sizes the bucket array for `expected_new_groups` more groups.
+  void Reserve(size_t expected_new_groups) {
+    groups_.reserve(groups_.size() + expected_new_groups);
+  }
 
   const GroupMap& groups() const { return groups_; }
   size_t num_groups() const { return groups_.size(); }

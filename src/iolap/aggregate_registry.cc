@@ -279,6 +279,43 @@ Value AggregateRegistry::LookupTrial(int block, int col, const Row& key,
   return Value::Double(entry->trials[a][trial] * ColScale(rel, a));
 }
 
+void AggregateRegistry::LookupTrials(int block, int col, const Row& key,
+                                     int num_trials, Value* out) const {
+  const Relation& rel = relations_[block];
+  if (col < rel.num_keys) {
+    const Value v =
+        col < static_cast<int>(key.size()) ? key[col] : Value::Null();
+    for (int t = 0; t < num_trials; ++t) out[t] = v;
+    return;
+  }
+  const Entry* entry = FindEntry(block, key);
+  if (entry == nullptr) {
+    for (int t = 0; t < num_trials; ++t) out[t] = Value::Null();
+    return;
+  }
+  const size_t a = static_cast<size_t>(col - rel.num_keys);
+  // Trials the replica vector does not cover fall back to the (re-scaled)
+  // main value, exactly like LookupTrial.
+  Value fallback = Value::Null();
+  if (a < entry->main.size() && !entry->main[a].is_null()) {
+    const double s = ColScale(rel, a);
+    fallback = s == 1.0 ? entry->main[a]
+                        : Value::Double(entry->main[a].AsDouble() * s);
+  }
+  if (a >= entry->trials.size()) {
+    for (int t = 0; t < num_trials; ++t) out[t] = fallback;
+    return;
+  }
+  const std::vector<double>& trials = entry->trials[a];
+  const double s = ColScale(rel, a);
+  const int covered =
+      std::min(num_trials, static_cast<int>(trials.size()));
+  for (int t = 0; t < covered; ++t) {
+    out[t] = Value::Double(trials[t] * s);
+  }
+  for (int t = covered; t < num_trials; ++t) out[t] = fallback;
+}
+
 Interval AggregateRegistry::LookupRange(int block, int col,
                                         const Row& key) const {
   const Relation& rel = relations_[block];

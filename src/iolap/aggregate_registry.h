@@ -101,6 +101,11 @@ class AggregateRegistry final : public AggLookupResolver,
   Value Lookup(int block, int col, const Row& key) const override;
   Value LookupTrial(int block, int col, const Row& key,
                     int trial) const override;
+  /// Batched probe for the compiled expression path: one entry lookup for
+  /// all trials instead of one per trial. Result-identical to calling
+  /// LookupTrial for each trial in [0, num_trials).
+  void LookupTrials(int block, int col, const Row& key, int num_trials,
+                    Value* out) const override;
   Interval LookupRange(int block, int col, const Row& key) const override;
 
  private:

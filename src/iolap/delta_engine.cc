@@ -51,6 +51,35 @@ BlockExecutor::BlockExecutor(const QueryPlan* plan, int block_id,
                              InputGrows(*plan, *annotations, *block_, k),
                              prefix_grows);
   }
+
+  // Lower this block's hot expressions into compiled register programs
+  // (exec/expr_program). Compile() returns null for anything it cannot
+  // prove bit-identical to the interpreter; those expressions simply stay
+  // interpreted.
+  if (options->compile_expressions) {
+    std::vector<ExprPtr> roots;
+    if (block_->filter != nullptr) {
+      filter_root_ = 0;
+      roots.push_back(block_->filter);
+    }
+    arg_root_base_ = static_cast<int>(roots.size());
+    for (const AggSpec& agg : block_->aggs) roots.push_back(agg.arg);
+    if (!roots.empty()) {
+      row_program_ =
+          ExprProgram::Compile(roots, plan->functions.get(), &ann_->spj_lineage);
+    }
+    if (!block_->has_aggregate() && !block_->projections.empty()) {
+      proj_program_ = ExprProgram::Compile(
+          block_->projections, plan->functions.get(), &ann_->spj_lineage);
+    }
+  }
+  if (row_program_ != nullptr) {
+    prog_states_.resize(pool_ != nullptr ? pool_->num_lanes() : 1);
+    for (ExprProgramState& state : prog_states_) {
+      row_program_->InitState(&state);
+    }
+  }
+  if (proj_program_ != nullptr) proj_program_->InitState(&proj_state_);
 }
 
 EvalContext BlockExecutor::MainContext() const {
@@ -169,8 +198,44 @@ void BlockExecutor::AccumulateCertain(const ExecRow& row, int batch,
   }
 }
 
+bool BlockExecutor::EvaluateRowCompiled(const ExecRow& row, RowEval* ev,
+                                        ExprProgramState* ps) const {
+  const int trials = bootstrap_.num_trials();
+  // Prologue: trial-invariant subexpressions plus one batched resolver
+  // probe per aggregate-lookup site, then the main (trial = -1) pass.
+  if (!row_program_->Bind(ps, row.values, registry_, trials)) return false;
+  if (!row_program_->EvalTrial(ps, row.values, -1)) return false;
+  ev->main_pass =
+      filter_root_ < 0 || row_program_->RootTruthy(*ps, filter_root_);
+  if (!block_->has_aggregate()) return true;
+  const size_t num_aggs = block_->aggs.size();
+  ev->key = GroupKeyOf(row);
+  ev->key_hash = HashRow(ev->key);
+  if (ev->main_pass) {
+    ev->main_vals.clear();
+    ev->main_vals.reserve(num_aggs);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      ev->main_vals.push_back(row_program_->RootValue(
+          *ps, static_cast<size_t>(arg_root_base_) + a));
+    }
+  }
+  // Candidate weights up front; EvalTrials zeroes the trials whose filter
+  // decision fails under that resample and fills the argument values of the
+  // surviving ones — the same end state the interpreted loop produces.
+  ev->trial_w.assign(trials, 0.0);
+  ev->trial_vals.assign(static_cast<size_t>(trials) * num_aggs, Value());
+  for (int t = 0; t < trials; ++t) {
+    ev->trial_w[t] =
+        row.weight *
+        (row.FromStream() ? bootstrap_.WeightAt(row.stream_uid, t) : 1);
+  }
+  return row_program_->EvalTrials(ps, row.values, trials, filter_root_,
+                                  arg_root_base_, num_aggs, ev->trial_w.data(),
+                                  ev->trial_vals.data());
+}
+
 void BlockExecutor::EvaluateRow(ExecRow* row, bool charge_regeneration,
-                                RowEval* ev) const {
+                                RowEval* ev, ExprProgramState* prog_state) const {
   RefreshRow(row, charge_regeneration);
 
   // Classification with a buffered constraint sink: registrations are
@@ -205,12 +270,19 @@ void BlockExecutor::EvaluateRow(ExecRow* row, bool charge_regeneration,
   // per-trial membership/argument evaluations. These read only the row and
   // the registry (frozen during a batch), never the sketch, so they run
   // concurrently per row; the contributions are applied serially later.
+  if (prog_state != nullptr && EvaluateRowCompiled(*row, ev, prog_state)) {
+    return;
+  }
+  // Interpreter path: no compiled program, or the row bailed mid-way (the
+  // re-assignments below overwrite anything the compiled attempt wrote).
   EvalContext ctx = MainContext();
   ev->main_pass = block_->filter == nullptr ||
                   block_->filter->Eval(row->values, ctx).IsTruthy();
   if (!block_->has_aggregate()) return;
   const size_t num_aggs = block_->aggs.size();
   ev->key = GroupKeyOf(*row);
+  ev->key_hash = HashRow(ev->key);
+  ev->main_vals.clear();
   if (ev->main_pass) {
     ev->main_vals.reserve(num_aggs);
     for (size_t a = 0; a < num_aggs; ++a) {
@@ -251,7 +323,7 @@ void BlockExecutor::ApplyPending(const ExecRow& row, size_t eval_idx,
   }
   GroupedAggregateState::GroupCells* cells = nullptr;
   if (ev.main_pass) {
-    cells = &temp->GetOrCreate(ev.key, batch);
+    cells = &temp->GetOrCreate(ev.key, ev.key_hash, batch);
     for (size_t a = 0; a < block_->aggs.size(); ++a) {
       cells->aggs[a].AddMainOnly(ev.main_vals[a], row.weight);
     }
@@ -268,10 +340,11 @@ void BlockExecutor::ApplyPending(const ExecRow& row, size_t eval_idx,
     // replicas are folded only where the group exists. The check is
     // loop-invariant across this row's trials (nothing mutates the maps
     // between them), so one check covers all surviving trials.
-    if (sketch_.Find(ev.key) == nullptr && temp->Find(ev.key) == nullptr) {
+    if (sketch_.Find(ev.key, ev.key_hash) == nullptr &&
+        temp->Find(ev.key, ev.key_hash) == nullptr) {
       return;
     }
-    cells = &temp->GetOrCreate(ev.key, batch);
+    cells = &temp->GetOrCreate(ev.key, ev.key_hash, batch);
   }
   for (size_t a = 0; a < block_->aggs.size(); ++a) {
     deferred_pending_.push_back({&cells->aggs[a],
@@ -385,17 +458,38 @@ int BlockExecutor::ProcessBatch(int batch, double scale,
   const size_t total_rows = num_fresh + pending_.size();
   row_scratch_.clear();
   row_scratch_.resize(total_rows);
-  const auto evaluate = [&](size_t begin, size_t end, size_t /*lane*/) {
+  const auto evaluate = [&](size_t begin, size_t end, size_t lane) {
+    // Each ParallelRanges lane owns one compiled-program scratch state;
+    // inline execution is lane 0.
+    ExprProgramState* prog_state =
+        row_program_ != nullptr ? &prog_states_[lane] : nullptr;
     for (size_t i = begin; i < end; ++i) {
       ExecRow& row = i < num_fresh ? fresh[i] : pending_[i - num_fresh];
       EvaluateRow(&row, /*charge_regeneration=*/i >= num_fresh,
-                  &row_scratch_[i]);
+                  &row_scratch_[i], prog_state);
     }
   };
   if (pool_ != nullptr) {
     pool_->ParallelRanges(total_rows, evaluate);
   } else {
     evaluate(0, total_rows, 0);
+  }
+
+  // Pre-size the group maps with this batch's routing counts (upper bounds
+  // on new groups) so the serial apply phase never rehashes mid-loop.
+  if (block_->has_aggregate()) {
+    size_t certain_rows = 0;
+    size_t pending_rows = 0;
+    for (const RowEval& ev : row_scratch_) {
+      if (ev.truth == IntervalTruth::kAlwaysFalse) continue;
+      if (ev.pending_route) {
+        ++pending_rows;
+      } else {
+        ++certain_rows;
+      }
+    }
+    sketch_.Reserve(certain_rows);
+    temp.Reserve(pending_rows);
   }
 
   // Apply phase, serial in the original row order: replay the buffered
@@ -663,8 +757,48 @@ Table BlockExecutor::CurrentSpjOutput(
     std::vector<std::vector<std::vector<double>>>* estimates) const {
   Table out(block_->output_schema);
   EvalContext ctx = MainContext();
+  const int trials = bootstrap_.num_trials();
+  // Compiled projection path: one Bind (with its batched aggregate probes)
+  // covers the main pass and every per-trial re-evaluation of the row.
+  // Returns false on a runtime bail; the caller redoes the row interpreted.
+  auto emit_compiled = [&](const ExecRow& row) -> bool {
+    if (proj_program_ == nullptr) return false;
+    const size_t num_proj = block_->projections.size();
+    const int bind_trials = estimates != nullptr ? trials : 0;
+    if (!proj_program_->Bind(&proj_state_, row.values, registry_,
+                             bind_trials) ||
+        !proj_program_->EvalTrial(&proj_state_, row.values, -1)) {
+      return false;
+    }
+    Row projected;
+    projected.reserve(num_proj);
+    for (size_t p = 0; p < num_proj; ++p) {
+      projected.push_back(proj_program_->RootValue(proj_state_, p));
+    }
+    if (estimates != nullptr) {
+      std::vector<std::vector<double>> row_trials(num_proj);
+      for (size_t p = 0; p < num_proj; ++p) {
+        if (ann_->output_attr_uncertain[p]) row_trials[p].reserve(trials);
+      }
+      for (int t = 0; t < trials; ++t) {
+        if (!proj_program_->EvalTrial(&proj_state_, row.values, t)) {
+          return false;
+        }
+        for (size_t p = 0; p < num_proj; ++p) {
+          if (!ann_->output_attr_uncertain[p]) continue;
+          const Value v = proj_program_->RootValue(proj_state_, p);
+          row_trials[p].push_back(v.is_null() ? projected[p].AsDouble()
+                                              : v.AsDouble());
+        }
+      }
+      estimates->push_back(std::move(row_trials));
+    }
+    out.AddRow(std::move(projected));
+    return true;
+  };
   auto emit = [&](ExecRow row) {
     RefreshRow(&row, /*charge_regeneration=*/false);
+    if (emit_compiled(row)) return;
     ctx.trial = -1;
     Row projected;
     projected.reserve(block_->projections.size());

@@ -10,6 +10,7 @@
 #include "catalog/partitioner.h"
 #include "common/thread_pool.h"
 #include "exec/batch.h"
+#include "exec/expr_program.h"
 #include "exec/hash_aggregate.h"
 #include "exec/operators.h"
 #include "iolap/aggregate_registry.h"
@@ -78,6 +79,12 @@ struct EngineOptions {
   /// decomposition) at compile time. Off by default; see
   /// plan/rewrite_rules.h and bench_ablation_rewrite.
   bool apply_rewrite_rules = false;
+  /// Lower filters, aggregate arguments and projections into compiled
+  /// register programs (exec/expr_program) with trial-invariant hoisting,
+  /// replacing the interpreted per-trial hot loop. Results are bit-identical
+  /// to the interpreter (expressions the compiler cannot prove identical
+  /// keep the interpreter per block or per row); off = always interpret.
+  bool compile_expressions = true;
   /// Worker threads for intra-batch parallelism (classification and
   /// per-trial re-evaluation of the non-deterministic set, bootstrap trial
   /// accumulation, group re-materialization). 0 = inline execution, no pool.
@@ -226,6 +233,9 @@ class BlockExecutor {
     /// Main (trial = -1) filter decision of a pending-routed row.
     bool main_pass = false;
     Row key;                       // group key (aggregate blocks only)
+    /// HashRow(key), computed during the parallel evaluation phase so the
+    /// serial apply phase probes the group maps without re-hashing.
+    uint64_t key_hash = 0;
     std::vector<Value> main_vals;  // agg args at trial -1 (main_pass only)
     /// Per-trial surviving weight; 0 = multiplicity zero or filter failed
     /// under that resample.
@@ -273,8 +283,18 @@ class BlockExecutor {
   /// Evaluation phase for one row: refresh, classify, and — when the row
   /// routes to the non-deterministic path — the per-trial filter/argument
   /// evaluations. Pure except for the in-place row refresh; safe to run
-  /// concurrently per row.
-  void EvaluateRow(ExecRow* row, bool charge_regeneration, RowEval* ev) const;
+  /// concurrently per row. `prog_state` is the caller's lane-private
+  /// compiled-program scratch (null = interpret).
+  void EvaluateRow(ExecRow* row, bool charge_regeneration, RowEval* ev,
+                   ExprProgramState* prog_state) const;
+
+  /// Compiled fast path for the non-deterministic part of EvaluateRow:
+  /// one Bind (prologue + batched aggregate probes) plus the per-trial
+  /// epilogue via EvalTrials. Returns false when the row hit a construct
+  /// the program does not cover — the caller redoes the row with the
+  /// interpreter, so results never change.
+  bool EvaluateRowCompiled(const ExecRow& row, RowEval* ev,
+                           ExprProgramState* ps) const;
 
   /// Routes an evaluated row: sketch/sink for certain rows, the pending
   /// (non-deterministic) set otherwise. Serial apply phase.
@@ -336,6 +356,21 @@ class BlockExecutor {
   /// Set after a rollback/reset: registry values may be newer than the
   /// restored sketches, so the next batch republishes every group.
   bool force_full_publish_ = false;
+
+  // Compiled expression programs (exec/expr_program), built once at plan
+  // time and shared read-only across lanes; null = expression not compiled
+  // (flag off, or a construct the compiler refuses). row_program_'s roots
+  // are [filter?] + aggregate arguments; proj_program_'s are the
+  // projections of a non-aggregate block.
+  std::unique_ptr<const ExprProgram> row_program_;
+  std::unique_ptr<const ExprProgram> proj_program_;
+  int filter_root_ = -1;   // root index of the filter in row_program_
+  int arg_root_base_ = 0;  // root index of aggregate argument 0
+  /// Lane-private evaluation scratch, one per pool lane (index = the lane
+  /// argument ParallelRanges hands each range; inline mode uses lane 0).
+  std::vector<ExprProgramState> prog_states_;
+  /// Scratch for proj_program_ (CurrentSpjOutput is const and serial).
+  mutable ExprProgramState proj_state_;
 
   // Operator states (§4.2).
   std::vector<JoinStep> join_steps_;

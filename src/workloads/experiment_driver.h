@@ -59,6 +59,8 @@ Result<std::shared_ptr<Catalog>> CatalogFor(const BenchQuery& query,
 
 /// Engine options preset used by the figure benches: iOLAP defaults
 /// (bootstrap trials, slack 2, batch count) at the bench scale.
+/// IOLAP_BENCH_COMPILE_EXPRS=0 disables the compiled expression programs
+/// (interpreter-only baseline for perf comparisons).
 EngineOptions BenchOptions(ExecutionMode mode);
 
 }  // namespace iolap
