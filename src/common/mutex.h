@@ -1,0 +1,114 @@
+#ifndef IOLAP_COMMON_MUTEX_H_
+#define IOLAP_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace iolap {
+
+/// Annotated wrapper over std::mutex. The standard-library lock types carry
+/// no thread-safety attributes, so Clang's analysis cannot see when a raw
+/// std::mutex is held; every mutex that guards shared engine state uses
+/// this type (and MutexLock / CondVar below) instead. Zero overhead: the
+/// wrapper is a plain std::mutex plus compile-time attributes.
+class IOLAP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() IOLAP_ACQUIRE() { mu_.lock(); }
+  void Unlock() IOLAP_RELEASE() { mu_.unlock(); }
+  bool TryLock() IOLAP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spelling, so the type composes with std::scoped_lock
+  /// and std::condition_variable_any (see CondVar::Wait).
+  void lock() IOLAP_ACQUIRE() { mu_.lock(); }
+  void unlock() IOLAP_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex, visible to the analysis (a std::lock_guard over a
+/// Mutex would compile but leave the capability untracked).
+class IOLAP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) IOLAP_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() IOLAP_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Callers hold the mutex and wait in
+/// an explicit predicate loop:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+///
+/// (The predicate-lambda overload of std::condition_variable is deliberately
+/// not mirrored: the lambda body would be analyzed as a separate function
+/// that reads guarded members without a visible capability.)
+class CondVar {
+ public:
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning — so from the analysis's point of view the capability is
+  /// held across the call, which matches what the caller may assume.
+  void Wait(Mutex& mu) IOLAP_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// A virtual capability with no runtime state: names a single-threaded
+/// execution *phase* rather than a lock. The engine's correctness argument
+/// (docs/INTERNALS.md "Parallelism model") splits each batch into parallel
+/// evaluation phases and a serial apply phase that performs all state
+/// mutation; mutation-side APIs declare IOLAP_REQUIRES(role) on the phase's
+/// ThreadRole, and the driving thread enters the phase with
+/// ScopedThreadRole. Acquire/Release are no-ops at runtime — the capability
+/// exists purely so Clang can reject a mutation reached from a parallel
+/// lambda at compile time.
+class IOLAP_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void Acquire() IOLAP_ACQUIRE() {}
+  void Release() IOLAP_RELEASE() {}
+  /// Tells the analysis the phase is active for the rest of the calling
+  /// scope — for code reached only from inside the phase via paths the
+  /// intraprocedural analysis cannot see (e.g. a local lambda invoked from
+  /// the serial loop).
+  void AssertHeld() const IOLAP_ASSERT_CAPABILITY(this) {}
+};
+
+/// RAII phase entry for ThreadRole.
+class IOLAP_SCOPED_CAPABILITY ScopedThreadRole {
+ public:
+  explicit ScopedThreadRole(ThreadRole& role) IOLAP_ACQUIRE(role)
+      : role_(role) {
+    role_.Acquire();
+  }
+  ~ScopedThreadRole() IOLAP_RELEASE() { role_.Release(); }
+
+  ScopedThreadRole(const ScopedThreadRole&) = delete;
+  ScopedThreadRole& operator=(const ScopedThreadRole&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_COMMON_MUTEX_H_

@@ -31,7 +31,13 @@ const char* StatusCodeToString(StatusCode code);
 /// Result of an operation that can fail. The library does not throw across
 /// API boundaries; every fallible public entry point returns Status or
 /// Result<T>. OK statuses carry no allocation.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status swallows the error and lets
+/// execution continue on garbage state, so every function returning one
+/// must have its result checked (or routed through IOLAP_RETURN_IF_ERROR).
+/// The rare call site whose failure is genuinely irrelevant documents that
+/// with an explicit `(void)` cast and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -68,7 +74,7 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -84,8 +90,10 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Either a value of type T or an error Status. Accessing the value of an
 /// errored Result is a programming error (asserted in debug builds).
+/// [[nodiscard]] for the same reason as Status: a dropped Result drops the
+/// error with it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from error Status, so `return value;` and
   /// `return Status::...;` both work inside functions returning Result<T>.
@@ -95,7 +103,7 @@ class Result {
            "Result<T> must not be built from an OK Status");
   }
 
-  bool ok() const { return std::holds_alternative<T>(storage_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
 
   const Status& status() const {
     static const Status kOk;

@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -29,16 +29,16 @@ void ThreadPool::SubmitToGroup(TaskGroup* group, std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.emplace(group, std::move(task));
     if (group == nullptr) {
       ++in_flight_;
     } else {
-      std::lock_guard<std::mutex> group_lock(group->mu);
+      MutexLock group_lock(group->mu);
       ++group->remaining;
     }
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -49,8 +49,8 @@ void ThreadPool::Wait() {
   if (workers_.empty()) return;
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) all_done_.Wait(mu_);
     error = std::exchange(submit_error_, nullptr);
   }
   if (error) std::rethrow_exception(error);
@@ -59,8 +59,8 @@ void ThreadPool::Wait() {
 void ThreadPool::WaitGroup(TaskGroup* group) {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(group->mu);
-    group->done.wait(lock, [group] { return group->remaining == 0; });
+    MutexLock lock(group->mu);
+    while (group->remaining != 0) group->done.Wait(group->mu);
     error = std::exchange(group->first_error, nullptr);
   }
   if (error) std::rethrow_exception(error);
@@ -112,8 +112,8 @@ void ThreadPool::WorkerLoop() {
     TaskGroup* group = nullptr;
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && tasks_.empty()) task_ready_.Wait(mu_);
       if (tasks_.empty()) return;  // shutdown with drained queue
       group = tasks_.front().first;
       task = std::move(tasks_.front().second);
@@ -126,13 +126,13 @@ void ThreadPool::WorkerLoop() {
       error = std::current_exception();
     }
     if (group != nullptr) {
-      std::lock_guard<std::mutex> lock(group->mu);
+      MutexLock lock(group->mu);
       if (error && !group->first_error) group->first_error = error;
-      if (--group->remaining == 0) group->done.notify_all();
+      if (--group->remaining == 0) group->done.NotifyAll();
     } else {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (error && !submit_error_) submit_error_ = error;
-      if (--in_flight_ == 0) all_done_.notify_all();
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

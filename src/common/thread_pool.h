@@ -1,14 +1,15 @@
 #ifndef IOLAP_COMMON_THREAD_POOL_H_
 #define IOLAP_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace iolap {
 
@@ -34,6 +35,13 @@ namespace iolap {
 /// Calling ParallelFor from inside a pool task deadlocks (the nested call
 /// would wait on workers that are all busy) — parallel phases must be
 /// issued from the driving thread only.
+///
+/// Concurrency invariants are expressed with Clang thread-safety
+/// annotations (common/thread_annotations.h) and checked at compile time
+/// under -Wthread-safety: every shared member is IOLAP_GUARDED_BY its
+/// mutex, and the Submit-side lambdas must not capture by reference by
+/// default (tools/lint rule `pool-capture`; the task may outlive the
+/// submitting frame until the next Wait()).
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -43,16 +51,17 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; inline execution when the pool has no workers.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) IOLAP_EXCLUDES(mu_);
 
   /// Blocks until every plain-Submitted task has finished. Rethrows the
   /// first exception any of them raised since the last Wait().
-  void Wait();
+  void Wait() IOLAP_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, count), partitioned across the pool, and
   /// waits. Rethrows the first exception fn raised. Safe to call
   /// concurrently from multiple non-pool threads.
-  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn)
+      IOLAP_EXCLUDES(mu_);
 
   /// Runs fn(begin, end, lane) over a static partition of [0, count) into
   /// at most num_lanes() contiguous ranges and waits. The lane index is a
@@ -62,7 +71,8 @@ class ThreadPool {
   /// Inline mode runs a single range [0, count) with lane 0.
   void ParallelRanges(
       size_t count,
-      const std::function<void(size_t begin, size_t end, size_t lane)>& fn);
+      const std::function<void(size_t begin, size_t end, size_t lane)>& fn)
+      IOLAP_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -75,26 +85,29 @@ class ThreadPool {
   /// Per-call completion state for ParallelFor/ParallelRanges: tasks of one
   /// call count down their own latch, so concurrent calls are independent.
   struct TaskGroup {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t remaining = 0;
-    std::exception_ptr first_error;
+    Mutex mu;
+    CondVar done;
+    size_t remaining IOLAP_GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error IOLAP_GUARDED_BY(mu);
   };
 
-  void WorkerLoop();
+  void WorkerLoop() IOLAP_EXCLUDES(mu_);
   /// Enqueues `task` charged to `group` (nullptr = the global Wait epoch).
-  void SubmitToGroup(TaskGroup* group, std::function<void()> task);
+  void SubmitToGroup(TaskGroup* group, std::function<void()> task)
+      IOLAP_EXCLUDES(mu_);
   /// Blocks until `group` drains, then rethrows its first error, if any.
   static void WaitGroup(TaskGroup* group);
 
+  /// Immutable after construction (joined in the destructor only).
   std::vector<std::thread> workers_;
-  std::queue<std::pair<TaskGroup*, std::function<void()>>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;  // plain-Submit tasks only
-  std::exception_ptr submit_error_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::queue<std::pair<TaskGroup*, std::function<void()>>> tasks_
+      IOLAP_GUARDED_BY(mu_);
+  size_t in_flight_ IOLAP_GUARDED_BY(mu_) = 0;  // plain-Submit tasks only
+  std::exception_ptr submit_error_ IOLAP_GUARDED_BY(mu_);
+  bool shutdown_ IOLAP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace iolap

@@ -303,7 +303,8 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
          if (args[0].type() != ValueType::kString) return Value::Null();
          return Value::Int64(static_cast<int64_t>(args[0].str().size()));
        },
-       false});
+       false,
+       {}});
   registry->RegisterScalar(
       {"lower", 1, StringType,
        [](const std::vector<Value>& args) -> Value {
@@ -314,7 +315,8 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
          std::transform(s.begin(), s.end(), s.begin(), ::tolower);
          return Value::String(std::move(s));
        },
-       false});
+       false,
+       {}});
   registry->RegisterScalar(
       {"upper", 1, StringType,
        [](const std::vector<Value>& args) -> Value {
@@ -325,7 +327,8 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
          std::transform(s.begin(), s.end(), s.begin(), ::toupper);
          return Value::String(std::move(s));
        },
-       false});
+       false,
+       {}});
   registry->RegisterScalar(
       {"substr", 3, StringType,
        [](const std::vector<Value>& args) -> Value {
@@ -343,7 +346,8 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
          return Value::String(s.substr(static_cast<size_t>(start),
                                        static_cast<size_t>(len)));
        },
-       false});
+       false,
+       {}});
   registry->RegisterScalar(
       {"concat", -1, StringType,
        [](const std::vector<Value>& args) -> Value {
@@ -353,7 +357,8 @@ std::shared_ptr<FunctionRegistry> FunctionRegistry::Default() {
          }
          return Value::String(std::move(out));
        },
-       false});
+       false,
+       {}});
 
   registry->RegisterAggregate(
       "geomean", std::make_shared<SmoothUdaf<GeomeanAccumulator>>("geomean"));

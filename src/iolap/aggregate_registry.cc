@@ -7,6 +7,12 @@
 
 namespace iolap {
 
+// The serial apply phase's capability object. Purely static: it is never
+// contended and costs nothing to "acquire" — it exists so Clang's
+// -Wthread-safety can prove registry mutation never escapes into a
+// parallel evaluation lambda (see the declaration in the header).
+ThreadRole engine_serial_phase;
+
 namespace {
 
 /// Source of globally unique memo epochs (see Relation::memo_epoch). Starts

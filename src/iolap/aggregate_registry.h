@@ -5,10 +5,26 @@
 #include <vector>
 
 #include "bootstrap/variation_range.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/expr.h"
 #include "plan/logical_plan.h"
 
 namespace iolap {
+
+/// The engine's *serial apply phase* as a static capability (no runtime
+/// lock; see ThreadRole). Every batch splits into parallel evaluation
+/// phases — which only read the plan, the rows, and the frozen registry —
+/// and a serial apply phase on the driving thread that performs all state
+/// mutation in deterministic row/group order. Mutation-side APIs
+/// (AggregateRegistry publication, BlockExecutor routing/publication)
+/// declare IOLAP_REQUIRES(engine_serial_phase); the driver (and any test
+/// or bench that drives these APIs directly) enters the phase with
+/// `ScopedThreadRole serial(engine_serial_phase);`. Under Clang
+/// -Wthread-safety this turns "mutation escaped into a parallel lambda" —
+/// the race class that would silently break Theorem 1's bit-identical
+/// replay guarantee — into a compile error.
+extern ThreadRole engine_serial_phase;
 
 /// The shared store of every aggregate block's current output: the runtime
 /// "rel" that the paper's lineage references `(rel(γ), t.key)` resolve
@@ -45,7 +61,8 @@ class AggregateRegistry final : public AggLookupResolver,
 
   /// Sets block `block`'s current multiplicity scale m_i; call once per
   /// batch before publishing or refreshing its groups.
-  void SetBlockScale(int block, double scale);
+  void SetBlockScale(int block, double scale)
+      IOLAP_REQUIRES(engine_serial_phase);
 
   /// Publishes (or overwrites) group `key` of block `block` at `batch`
   /// with *unscaled* results: `main` has one value per aggregate column,
@@ -59,19 +76,21 @@ class AggregateRegistry final : public AggLookupResolver,
                         std::vector<Value> main,
                         std::vector<std::vector<double>> trials,
                         bool track_ranges,
-                        const std::vector<double>* analytic_sd = nullptr);
+                        const std::vector<double>* analytic_sd = nullptr)
+      IOLAP_REQUIRES(engine_serial_phase);
 
   /// Integrity-checks an *untouched* group under the current scale using
   /// its stored replica envelope. Sets `missing` when the group was never
   /// published (caller falls back to a full Publish).
   PublishResult Refresh(int block, const Row& key, int batch,
-                        bool track_ranges);
+                        bool track_ranges) IOLAP_REQUIRES(engine_serial_phase);
 
   /// Failure recovery: forgets groups first published after `batch` and
   /// rolls the surviving groups' range constraints back to it, freezing
   /// classification ranges for `freeze_updates` replayed batches (see
   /// VariationRangeTracker::RecoverTo).
-  void RollbackTo(int batch, int freeze_updates = 0);
+  void RollbackTo(int batch, int freeze_updates = 0)
+      IOLAP_REQUIRES(engine_serial_phase);
 
   /// Number of groups currently published for `block`.
   size_t GroupCount(int block) const;
@@ -88,16 +107,23 @@ class AggregateRegistry final : public AggLookupResolver,
   // with no obligations can never fail the integrity check; values that
   // repeatedly betray their obligations are permanently demoted to
   // Unbounded ranges (their consumers simply stay non-deterministic).
-  void RequireUpper(int block, int col, const Row& key,
-                    double bound) override;
-  void RequireLower(int block, int col, const Row& key,
-                    double bound) override;
-  void RequireContainment(int block, int col, const Row& key) override;
+  void RequireUpper(int block, int col, const Row& key, double bound) override
+      IOLAP_REQUIRES(engine_serial_phase);
+  void RequireLower(int block, int col, const Row& key, double bound) override
+      IOLAP_REQUIRES(engine_serial_phase);
+  void RequireContainment(int block, int col, const Row& key) override
+      IOLAP_REQUIRES(engine_serial_phase);
 
   // --- AggLookupResolver -------------------------------------------------
   // `col` indexes the block's output schema; group-key columns resolve to
   // the key itself (deterministic), aggregate columns to published values
   // re-scaled to the block's current m_i.
+  //
+  // Deliberately NOT role-annotated: lookups are the parallel evaluation
+  // phases' hot path and read the registry while it is frozen (no Publish /
+  // Refresh / Require* runs concurrently — which is exactly what the
+  // IOLAP_REQUIRES annotations above enforce). FindEntry's thread_local
+  // memo keeps the concurrent probes allocation- and contention-free.
   Value Lookup(int block, int col, const Row& key) const override;
   Value LookupTrial(int block, int col, const Row& key,
                     int trial) const override;
@@ -147,7 +173,8 @@ class AggregateRegistry final : public AggLookupResolver,
   const Entry* FindEntry(int block, const Row& key) const;
   /// Mutable tracker access for constraint registration; null when the
   /// entry is missing, disabled, or untracked.
-  VariationRangeTracker* TrackerFor(int block, int col, const Row& key);
+  VariationRangeTracker* TrackerFor(int block, int col, const Row& key)
+      IOLAP_REQUIRES(engine_serial_phase);
 
   /// Scale applied to aggregate column `a` under `rel`'s current m_i.
   double ColScale(const Relation& rel, size_t a) const {
@@ -157,7 +184,7 @@ class AggregateRegistry final : public AggLookupResolver,
   /// Per-column integrity updates for `entry` under the current scale;
   /// shared by Publish and Refresh.
   void CheckRanges(Relation& rel, const Row& key, Entry& entry,
-                   PublishResult* result);
+                   PublishResult* result) IOLAP_REQUIRES(engine_serial_phase);
 
   double slack_;
   std::vector<Relation> relations_;  // indexed by block id

@@ -494,7 +494,10 @@ int BlockExecutor::ProcessBatch(int batch, double scale,
 
   // Apply phase, serial in the original row order: replay the buffered
   // range constraints, then route each row into the sketch / sink /
-  // non-deterministic set.
+  // non-deterministic set. Entering the serial-phase role here (a no-op at
+  // runtime) is what lets Clang verify that none of the mutation below is
+  // reachable from the parallel evaluation lambdas above.
+  ScopedThreadRole serial_phase(engine_serial_phase);
   for (size_t i = 0; i < total_rows; ++i) {
     for (const ConstraintOp& op : row_scratch_[i].constraints) {
       switch (op.kind) {

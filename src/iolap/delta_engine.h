@@ -299,29 +299,34 @@ class BlockExecutor {
   /// Routes an evaluated row: sketch/sink for certain rows, the pending
   /// (non-deterministic) set otherwise. Serial apply phase.
   void RouteRow(ExecRow row, size_t eval_idx, int batch,
-                GroupedAggregateState* temp, std::vector<ExecRow>* new_pending);
+                GroupedAggregateState* temp, std::vector<ExecRow>* new_pending)
+      IOLAP_REQUIRES(engine_serial_phase);
 
   /// Adds a certain row's aggregate contributions to `target`: main
   /// accumulators immediately, trial replicas deferred to the flush.
   void AccumulateCertain(const ExecRow& row, int batch,
-                         GroupedAggregateState* target);
+                         GroupedAggregateState* target)
+      IOLAP_REQUIRES(engine_serial_phase);
 
   /// Applies a pending row's revocable contributions to `temp` from its
   /// precomputed RowEval: main accumulators immediately, trial replicas
   /// deferred to the flush.
   void ApplyPending(const ExecRow& row, size_t eval_idx, int batch,
-                    GroupedAggregateState* temp);
+                    GroupedAggregateState* temp)
+      IOLAP_REQUIRES(engine_serial_phase);
 
   /// Drains the deferred trial-replica adds, partitioned across the pool
   /// by trial index: lanes own disjoint trial accumulators, and each
   /// accumulator receives its adds in serial-apply (row) order, so the
-  /// result is bit-identical for every thread count.
-  void FlushDeferredTrials();
+  /// result is bit-identical for every thread count. (Entered from the
+  /// serial phase; the internal fan-out mutates lane-disjoint accumulators
+  /// only.)
+  void FlushDeferredTrials() IOLAP_REQUIRES(engine_serial_phase);
 
   /// Publishes sketch ∪ temp to the registry; returns rollback target or
   /// kNoRollback.
   int PublishOutput(int batch, double scale, const GroupedAggregateState& temp,
-                    BlockBatchStats* stats);
+                    BlockBatchStats* stats) IOLAP_REQUIRES(engine_serial_phase);
 
   Row GroupKeyOf(const ExecRow& row) const;
 

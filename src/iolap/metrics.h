@@ -10,6 +10,13 @@ namespace iolap {
 /// Per-mini-batch measurements: the raw series behind every plot in the
 /// paper's evaluation (latency per batch, tuples recomputed, operator state
 /// sizes, data shipped, failure recoveries).
+///
+/// Thread contract: metrics are plain data, written only by the controller
+/// thread between batches (never from pool workers — worker-side costs are
+/// aggregated into the per-batch record during the serial apply phase), so
+/// they carry no locks and no IOLAP_GUARDED_BY; readers may inspect them
+/// freely once Run() returns or from the observer callback, which the
+/// controller invokes serially. See docs/INTERNALS.md §8.
 struct BatchMetrics {
   int batch = 0;
   double latency_sec = 0.0;

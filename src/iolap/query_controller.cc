@@ -177,6 +177,9 @@ int QueryController::ProcessOneBatch(int b, BlockBatchStats* stats) {
 }
 
 int QueryController::RollbackTo(int target, int replay_window) {
+  // Failure recovery mutates the registry; it always runs on the driving
+  // thread between batches, which the serial-phase role makes checkable.
+  ScopedThreadRole serial_phase(engine_serial_phase);
   if (target >= 0) {
     // Find the checkpoint taken after batch `target`.
     for (const auto& snapshot : checkpoints_) {

@@ -14,6 +14,15 @@ namespace iolap {
 /// or Session::FromPlan. Running delivers one PartialResult per mini-batch
 /// through the observer; the observer may stop the execution at any point
 /// (the paper's interactive accuracy/latency control, §2).
+///
+/// Thread contract: a Session and the IncrementalQuerys it compiles are
+/// *thread-compatible*, not thread-safe — one query runs on one driving
+/// thread at a time (the internal ThreadPool fans out under it; see
+/// docs/INTERNALS.md §5/§8). Distinct Sessions over the same Catalog are
+/// independent: the engine treats the catalog as immutable input, and the
+/// only cross-session shared mutable state in the repo is the workload
+/// catalog cache, which carries its own annotated lock
+/// (workloads/experiment_driver.cc).
 class IncrementalQuery {
  public:
   /// Executes all mini-batches (or until the observer stops the run).

@@ -95,7 +95,8 @@ void RegisterConvivaUdfs(FunctionRegistry* registry) {
          return Value::Double(args[0].AsDouble() /
                               (60.0 * (1.0 + args[1].AsDouble() / 30.0)));
        },
-       /*monotone=*/false});
+       /*monotone=*/false,
+       {}});
   registry->RegisterScalar(
       {"is_hd", 1,
        [](const std::vector<ValueType>&) { return ValueType::kInt64; },
@@ -103,7 +104,8 @@ void RegisterConvivaUdfs(FunctionRegistry* registry) {
          if (args[0].is_null()) return Value::Null();
          return Value::Bool(args[0].AsDouble() >= 2500.0);
        },
-       /*monotone=*/false});
+       /*monotone=*/false,
+       {}});
 }
 
 }  // namespace iolap

@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace iolap {
 
@@ -15,6 +17,17 @@ double EnvDouble(const char* name, double fallback) {
   const double parsed = std::strtod(value, &end);
   return end != value ? parsed : fallback;
 }
+
+// Process-wide catalog caches shared by every bench/test thread that asks
+// for a workload dataset. Annotated so a Clang -Wthread-safety build proves
+// no access bypasses the lock (the caches are the only cross-thread mutable
+// state in the bench driver).
+Mutex tpch_cache_mu;
+std::map<std::string, std::shared_ptr<Catalog>> tpch_cache
+    IOLAP_GUARDED_BY(tpch_cache_mu);
+
+Mutex conviva_cache_mu;
+std::shared_ptr<Catalog> conviva_cache IOLAP_GUARDED_BY(conviva_cache_mu);
 
 }  // namespace
 
@@ -56,28 +69,24 @@ std::shared_ptr<FunctionRegistry> BenchFunctions() {
 
 Result<std::shared_ptr<Catalog>> TpchCatalogStreaming(
     const std::string& streamed_table) {
-  static std::mutex mu;
-  static std::map<std::string, std::shared_ptr<Catalog>> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(streamed_table);
-  if (it != cache.end()) return it->second;
+  MutexLock lock(tpch_cache_mu);
+  auto it = tpch_cache.find(streamed_table);
+  if (it != tpch_cache.end()) return it->second;
   TpchConfig config;
   config = config.Scaled(BenchScale());
   IOLAP_ASSIGN_OR_RETURN(std::shared_ptr<Catalog> catalog,
                          MakeTpchCatalog(config, streamed_table));
-  cache[streamed_table] = catalog;
+  tpch_cache[streamed_table] = catalog;
   return catalog;
 }
 
 Result<std::shared_ptr<Catalog>> ConvivaBenchCatalog() {
-  static std::mutex mu;
-  static std::shared_ptr<Catalog> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  if (cache != nullptr) return cache;
+  MutexLock lock(conviva_cache_mu);
+  if (conviva_cache != nullptr) return conviva_cache;
   ConvivaConfig config;
   config = config.Scaled(BenchScale());
-  IOLAP_ASSIGN_OR_RETURN(cache, MakeConvivaCatalog(config));
-  return cache;
+  IOLAP_ASSIGN_OR_RETURN(conviva_cache, MakeConvivaCatalog(config));
+  return conviva_cache;
 }
 
 Result<std::shared_ptr<Catalog>> CatalogFor(const BenchQuery& query,

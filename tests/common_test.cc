@@ -309,7 +309,8 @@ TEST(ThreadPoolTest, ConcurrentParallelForCallsAreIndependent) {
 TEST(TimerTest, CpuTimerAdvancesWithWork) {
   CpuTimer timer;
   volatile double sink = 0;
-  for (int i = 0; i < 200000; ++i) sink += std::sqrt(static_cast<double>(i));
+  // Plain assignment: compound ops on volatile are deprecated in C++20.
+  for (int i = 0; i < 200000; ++i) sink = sink + std::sqrt(static_cast<double>(i));
   EXPECT_GE(timer.ElapsedSeconds(), 0.0);
   timer.Restart();
   EXPECT_GE(timer.ElapsedSeconds(), 0.0);
@@ -318,7 +319,7 @@ TEST(TimerTest, CpuTimerAdvancesWithWork) {
 TEST(TimerTest, MeasuresElapsed) {
   WallTimer timer;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(static_cast<double>(i));
   EXPECT_GE(timer.ElapsedSeconds(), 0.0);
   EXPECT_GE(timer.ElapsedMicros(), 0);
 }

@@ -1,6 +1,11 @@
 // Unit tests for the AggregateRegistry: lazy re-scaling, lookups, trial
 // replicas, constraint routing, refresh, rollback and per-value
 // degradation.
+//
+// The mutation API requires the engine's serial-phase capability
+// (IOLAP_REQUIRES(engine_serial_phase)); tests that publish/refresh enter
+// the phase with a ScopedThreadRole, exactly like the engine's apply phase
+// does — a no-op at runtime, checked under Clang -Wthread-safety.
 
 #include <gtest/gtest.h>
 
@@ -50,6 +55,7 @@ TEST_F(RegistryTest, KeyColumnsResolveToKey) {
 }
 
 TEST_F(RegistryTest, LinearAggregateRescalesLazily) {
+  ScopedThreadRole serial(engine_serial_phase);
   registry_->SetBlockScale(0, 4.0);
   // Unscaled sum 10, avg 5.
   auto result = registry_->Publish(0, Key(1), 0, {Value::Double(10), Value::Double(5)},
@@ -68,6 +74,7 @@ TEST_F(RegistryTest, LinearAggregateRescalesLazily) {
 }
 
 TEST_F(RegistryTest, TrialOutOfRangeFallsBackToMain) {
+  ScopedThreadRole serial(engine_serial_phase);
   registry_->SetBlockScale(0, 1.0);
   ASSERT_TRUE(registry_->Publish(0, Key(1), 0, {Value::Double(10), Value::Double(5)},
                                  {{}, {}}, false)
@@ -76,6 +83,7 @@ TEST_F(RegistryTest, TrialOutOfRangeFallsBackToMain) {
 }
 
 TEST_F(RegistryTest, RefreshChecksUnderNewScale) {
+  ScopedThreadRole serial(engine_serial_phase);
   registry_->SetBlockScale(0, 2.0);
   ASSERT_TRUE(registry_->Publish(0, Key(1), 0, {Value::Double(10), Value::Double(5)},
                                  {{9, 10, 11}, {5, 5, 5}}, true)
@@ -92,11 +100,13 @@ TEST_F(RegistryTest, RefreshChecksUnderNewScale) {
 }
 
 TEST_F(RegistryTest, RefreshOnMissingGroupReportsMissing) {
+  ScopedThreadRole serial(engine_serial_phase);
   const auto result = registry_->Refresh(0, Key(42), 0, true);
   EXPECT_TRUE(result.missing);
 }
 
 TEST_F(RegistryTest, ConstraintsGateFailuresAndRangesNarrow) {
+  ScopedThreadRole serial(engine_serial_phase);
   registry_->SetBlockScale(0, 1.0);
   ASSERT_TRUE(registry_->Publish(0, Key(1), 0, {Value::Double(10), Value::Double(5)},
                                  {{9, 10, 11}, {5, 5, 5}}, true)
@@ -114,6 +124,7 @@ TEST_F(RegistryTest, ConstraintsGateFailuresAndRangesNarrow) {
 }
 
 TEST_F(RegistryTest, RepeatedFailuresDisableTheRange) {
+  ScopedThreadRole serial(engine_serial_phase);
   registry_->SetBlockScale(0, 1.0);
   for (int round = 0; round < 3; ++round) {
     ASSERT_TRUE(registry_->Publish(0, Key(1), 0,
@@ -135,6 +146,7 @@ TEST_F(RegistryTest, RepeatedFailuresDisableTheRange) {
 }
 
 TEST_F(RegistryTest, RollbackErasesYoungGroups) {
+  ScopedThreadRole serial(engine_serial_phase);
   registry_->SetBlockScale(0, 1.0);
   ASSERT_TRUE(registry_->Publish(0, Key(1), 0, {Value::Double(1), Value::Double(1)},
                                  {{1}, {1}}, true)
@@ -150,6 +162,7 @@ TEST_F(RegistryTest, RollbackErasesYoungGroups) {
 }
 
 TEST_F(RegistryTest, RelationBytesAndTotalBytes) {
+  ScopedThreadRole serial(engine_serial_phase);
   registry_->SetBlockScale(0, 1.0);
   EXPECT_EQ(registry_->RelationBytes(0), 0u);
   ASSERT_TRUE(registry_->Publish(0, Key(1), 0, {Value::Double(1), Value::Double(1)},
@@ -160,6 +173,7 @@ TEST_F(RegistryTest, RelationBytesAndTotalBytes) {
 }
 
 TEST_F(RegistryTest, ConstraintOnMissingOrKeyColumnIsIgnored) {
+  ScopedThreadRole serial(engine_serial_phase);
   // Neither call may crash or create entries.
   registry_->RequireUpper(0, 1, Key(77), 1.0);
   registry_->RequireLower(0, 0, Key(1), 1.0);

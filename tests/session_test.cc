@@ -64,7 +64,8 @@ TEST(SessionTest, CustomUdfThroughSession) {
          if (args[0].is_null()) return Value::Null();
          return Value::Double(2.0 * args[0].AsDouble());
        },
-       /*monotone=*/true});
+       /*monotone=*/true,
+       {}});
   auto query = session.Sql("SELECT avg(double_it(v)) FROM t");
   ASSERT_TRUE(query.ok()) << query.status();
   ASSERT_TRUE((*query)->Run().ok());

@@ -1,0 +1,39 @@
+// Negative-compile fixture: this TU reads and writes an IOLAP_GUARDED_BY
+// member without holding its mutex, so a Clang build with
+// -Wthread-safety -Werror MUST refuse to compile it. The ctest entry
+// `guarded_by_violation_fails_to_compile` (tests/CMakeLists.txt) builds
+// this excluded target and asserts the failure (WILL_FAIL) — proving the
+// annotations have teeth, not just that they parse.
+//
+// GCC ignores the attributes, so the fixture is only registered on Clang
+// configures.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace iolap {
+
+class Tally {
+ public:
+  void Bump() {
+    // BUG (deliberate): touches count_ without mu_ held.
+    ++count_;
+  }
+
+  long Read() const {
+    // BUG (deliberate): reads count_ without mu_ held.
+    return count_;
+  }
+
+ private:
+  Mutex mu_;
+  long count_ IOLAP_GUARDED_BY(mu_) = 0;
+};
+
+long Drive() {
+  Tally tally;
+  tally.Bump();
+  return tally.Read();
+}
+
+}  // namespace iolap

@@ -1,0 +1,31 @@
+// iolap_lint fixture: must produce zero findings. Exercises the NOLINT /
+// NOLINTNEXTLINE escape hatch and the shapes each rule deliberately leaves
+// alone. Fixtures are input to the lint lexer only and are never compiled.
+namespace fixture {
+
+inline void SuppressedCapture(ThreadPool& pool, int total) {
+  // NOLINTNEXTLINE(pool-capture): drained before `total` leaves scope.
+  pool.Submit([&] { total += 1; });
+  pool.Submit([&total] { total += 1; });  // explicit capture: fine
+  pool.Wait();
+}
+
+inline unsigned SanctionedRng(unsigned seed, int lane) {
+  Rng rng = Rng::ForLane(seed, lane);  // factory, not direct construction
+  return rng.Next();
+}
+
+class Annotated {
+ public:
+  int Get(int key) const;
+
+ private:
+  Mutex mu_;
+  mutable int hits_ IOLAP_GUARDED_BY(mu_) = 0;
+};
+
+inline long SuppressedGet(const std::variant<long, double>& v) {
+  return std::get<long>(v);  // NOLINT(value-get): fixture demonstrates bare escape
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// iolap_lint fixture: lives under an `exec/` path segment so the
+// rng-construction rule applies; the direct construction below must be
+// flagged exactly once. Fixtures are input to the lint lexer only and are
+// never compiled.
+namespace fixture {
+
+inline unsigned Bad(unsigned seed) {
+  Rng rng(seed);  // finding: rng-construction
+  return rng.Next();
+}
+
+inline unsigned Good(unsigned seed, int lane) {
+  // The sanctioned path: per-lane streams derived from (seed, lane).
+  Rng rng = Rng::ForLane(seed, lane);
+  return rng.Next();
+}
+
+}  // namespace fixture

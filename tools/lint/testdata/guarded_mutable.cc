@@ -1,0 +1,26 @@
+// iolap_lint fixture: the guarded-mutable rule must flag the unannotated
+// mutable member exactly once. Fixtures are input to the lint lexer only
+// and are never compiled.
+namespace fixture {
+
+class Cache {
+ public:
+  int Get(int key) const;
+
+ private:
+  Mutex mu_;
+  mutable int hits_ = 0;  // finding: guarded-mutable
+  mutable int lookups_ IOLAP_GUARDED_BY(mu_) = 0;  // annotated: fine
+};
+
+class NoLock {
+ public:
+  int Peek() const;
+
+ private:
+  // No mutex in this class, so `mutable` is a plain caching detail and the
+  // rule stays quiet.
+  mutable int scratch_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// iolap_lint fixture: the pool-capture rule must flag the default-capture
+// lambda below exactly once. Fixtures are input to the lint lexer only and
+// are never compiled, so types may be used without declarations.
+namespace fixture {
+
+inline void Bad(ThreadPool& pool) {
+  int local = 1;
+  pool.Submit([&] { local += 1; });  // finding: pool-capture
+  pool.Wait();
+}
+
+inline void Good(ThreadPool& pool) {
+  int local = 2;
+  // Explicit captures are fine — the hazard is the *defaulted* reference.
+  pool.Submit([&local] { local += 1; });
+  pool.Wait();
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// iolap_lint fixture: the value-get rule must flag the raw std::get below
+// exactly once. Fixtures are input to the lint lexer only and are never
+// compiled.
+#include <variant>
+
+namespace fixture {
+
+inline long Bad(const std::variant<long, double>& v) {
+  return std::get<long>(v);  // finding: value-get
+}
+
+inline long Good(const Value& v) {
+  // The sanctioned path: typed accessors on Value.
+  return v.AsInt();
+}
+
+}  // namespace fixture
