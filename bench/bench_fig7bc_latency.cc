@@ -60,8 +60,23 @@ int RunWorkload(const char* figure, const std::vector<BenchQuery>& queries,
                   ? bench::TotalInputRows(baseline->metrics) / baseline_s
                   : 0.0,
               BenchThreads());
-    json->Add(prefix + query.id + "_iolap", full_s, cpu_s,
-              full_s > 0 ? rows / full_s : 0.0, BenchThreads());
+    json->AddWithRecovery(prefix + query.id + "_iolap", full_s, cpu_s,
+                          full_s > 0 ? rows / full_s : 0.0, BenchThreads(),
+                          iolap_run->metrics);
+    // Recovery activity shifts latency; surface it next to the numbers it
+    // explains (silent on a healthy run).
+    const QueryMetrics& im = iolap_run->metrics;
+    if (im.TotalFailureRecoveries() > 0 || im.TotalCorruptCheckpoints() > 0 ||
+        im.DegradedMode()) {
+      std::printf(
+          "# %s recovery: recoveries=%d max_rollback_depth=%d "
+          "full_restarts=%d corrupt_checkpoints=%d injected=%d "
+          "frozen_replays=%d exhausted=%d degraded=%d\n",
+          query.id.c_str(), im.TotalFailureRecoveries(), im.MaxRollbackDepth(),
+          im.TotalFullRestarts(), im.TotalCorruptCheckpoints(),
+          im.TotalInjectedFaults(), im.TotalFrozenReplayBatches(),
+          im.TotalRecoveriesExhausted(), im.DegradedMode() ? 1 : 0);
+    }
   }
   return 0;
 }

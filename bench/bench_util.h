@@ -24,6 +24,10 @@
 // to parse the human-oriented tab format. Uniform row schema:
 //   {"name": ..., "wall_sec": ..., "cpu_sec": ..., "rows_per_sec": ...,
 //    "threads": ...}
+// Rows added with recovery metrics carry additional keys:
+//   "recoveries", "max_rollback_depth", "full_restarts",
+//   "corrupt_checkpoints", "injected_faults", "frozen_replay_batches",
+//   "recoveries_exhausted", "degraded"
 
 namespace iolap {
 namespace bench {
@@ -47,6 +51,25 @@ class JsonWriter {
     rows_.push_back(Entry{name, wall_sec, cpu_sec, rows_per_sec, threads});
   }
 
+  /// Same row plus the failure-recovery counters of the run — used by
+  /// benches whose runs can recover (an unnoticed recovery storm would
+  /// otherwise masquerade as a latency regression).
+  void AddWithRecovery(const std::string& name, double wall_sec,
+                       double cpu_sec, double rows_per_sec, size_t threads,
+                       const QueryMetrics& metrics) {
+    Entry e{name, wall_sec, cpu_sec, rows_per_sec, threads};
+    e.has_recovery = true;
+    e.recoveries = metrics.TotalFailureRecoveries();
+    e.max_rollback_depth = metrics.MaxRollbackDepth();
+    e.full_restarts = metrics.TotalFullRestarts();
+    e.corrupt_checkpoints = metrics.TotalCorruptCheckpoints();
+    e.injected_faults = metrics.TotalInjectedFaults();
+    e.frozen_replay_batches = metrics.TotalFrozenReplayBatches();
+    e.recoveries_exhausted = metrics.TotalRecoveriesExhausted();
+    e.degraded = metrics.DegradedMode();
+    rows_.push_back(std::move(e));
+  }
+
   /// Writes the file; returns false (and prints to stderr) on I/O failure.
   bool Flush() const {
     std::FILE* f = std::fopen(path_.c_str(), "w");
@@ -60,9 +83,21 @@ class JsonWriter {
       std::fprintf(f,
                    "  {\"name\": \"%s\", \"wall_sec\": %.9g, "
                    "\"cpu_sec\": %.9g, \"rows_per_sec\": %.1f, "
-                   "\"threads\": %zu}%s\n",
+                   "\"threads\": %zu",
                    Escaped(e.name).c_str(), e.wall_sec, e.cpu_sec,
-                   e.rows_per_sec, e.threads, i + 1 < rows_.size() ? "," : "");
+                   e.rows_per_sec, e.threads);
+      if (e.has_recovery) {
+        std::fprintf(f,
+                     ", \"recoveries\": %d, \"max_rollback_depth\": %d, "
+                     "\"full_restarts\": %d, \"corrupt_checkpoints\": %d, "
+                     "\"injected_faults\": %d, \"frozen_replay_batches\": %d, "
+                     "\"recoveries_exhausted\": %d, \"degraded\": %s",
+                     e.recoveries, e.max_rollback_depth, e.full_restarts,
+                     e.corrupt_checkpoints, e.injected_faults,
+                     e.frozen_replay_batches, e.recoveries_exhausted,
+                     e.degraded ? "true" : "false");
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
@@ -76,6 +111,16 @@ class JsonWriter {
     double cpu_sec;
     double rows_per_sec;
     size_t threads;
+    // Optional failure-recovery counters (AddWithRecovery).
+    bool has_recovery = false;
+    int recoveries = 0;
+    int max_rollback_depth = 0;
+    int full_restarts = 0;
+    int corrupt_checkpoints = 0;
+    int injected_faults = 0;
+    int frozen_replay_batches = 0;
+    int recoveries_exhausted = 0;
+    bool degraded = false;
   };
 
   static std::string Escaped(const std::string& s) {

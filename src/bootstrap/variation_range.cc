@@ -79,6 +79,32 @@ void VariationRangeTracker::ConstrainLower(double bound) {
   }
 }
 
+VariationRangeTracker::UpdateResult VariationRangeTracker::InjectInconsistency()
+    const {
+  UpdateResult result;
+  const bool upper_finite = std::isfinite(upper_);
+  const bool lower_finite = std::isfinite(lower_);
+  // No obligations, no possible violation — same as the real check.
+  if (!upper_finite && !lower_finite) return result;
+  // A point envelope just past the tighter side, so the walk-back lands on
+  // the last update whose constraints were still loose enough to admit it.
+  double probe;
+  if (upper_finite) {
+    probe = upper_ + std::max(1.0, std::fabs(upper_)) * 1e-9;
+  } else {
+    probe = lower_ - std::max(1.0, std::fabs(lower_)) * 1e-9;
+  }
+  result.ok = false;
+  result.last_consistent_batch = -1;
+  for (int b = static_cast<int>(history_.size()) - 1; b >= 0; --b) {
+    if (probe >= history_[b].lower && probe <= history_[b].upper) {
+      result.last_consistent_batch = b;
+      break;
+    }
+  }
+  return result;
+}
+
 Interval VariationRangeTracker::current() const {
   if (history_.empty()) return Interval::Unbounded();
   if (frozen_updates_ > 0) {

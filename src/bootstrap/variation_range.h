@@ -60,6 +60,21 @@ class VariationRangeTracker {
   void ConstrainUpper(double bound);
   void ConstrainLower(double bound);
 
+  /// Fault injection (registry-envelope-fault): reports the failure a
+  /// replica envelope *just* escaping the tightest registered constraint
+  /// would produce, with the same constraint-history walk-back as a real
+  /// escape — so recovery, including the frozen replay window, runs its
+  /// natural path. State is untouched (a failing Update never folds its
+  /// envelope). Returns ok when the tracker carries no finite constraint:
+  /// such a value can never fail, injected or not.
+  UpdateResult InjectInconsistency() const;
+
+  /// Recovery-storm degradation, staircase level 1: scales the envelope
+  /// slack ε so future padded envelopes widen. Wider classification ranges
+  /// decide fewer tuples, which registers fewer obligations — trading
+  /// pruning for recovery pressure (see docs/INTERNALS.md §9).
+  void ScaleSlack(double factor) { slack_ *= factor; }
+
   /// The range classification consults: the latest padded envelope
   /// intersected with the constraints. Unbounded before the first update,
   /// and frozen to the recovery point's constraints during a replay window.

@@ -1,10 +1,16 @@
 #include "catalog/csv.h"
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
+
+#include "common/failpoint.h"
+#include "common/hash.h"
 
 namespace iolap {
 
@@ -185,6 +191,9 @@ Result<Table> ReadCsv(const std::string& text, const CsvOptions& options) {
 }
 
 Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  if (IOLAP_FAILPOINT(Failpoint::kCsvReadFault, HashBytes(path))) {
+    return Status::ExecutionError("injected transient read fault: " + path);
+  }
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     return Status::NotFound("cannot open file: " + path);
@@ -192,6 +201,30 @@ Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
   std::ostringstream buffer;
   buffer << file.rdbuf();
   return ReadCsv(buffer.str(), options);
+}
+
+Result<Table> ReadCsvFileWithRetry(const std::string& path,
+                                   const CsvOptions& options,
+                                   const CsvRetryOptions& retry,
+                                   int* attempts) {
+  const int max_attempts = std::max(1, retry.max_attempts);
+  double backoff = retry.initial_backoff_sec;
+  Result<Table> result = Status::Internal("retry loop did not run");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempts != nullptr) *attempts = attempt;
+    result = ReadCsvFile(path, options);
+    if (result.ok()) return result;
+    const StatusCode code = result.status().code();
+    const bool transient =
+        code == StatusCode::kExecutionError || code == StatusCode::kInternal;
+    if (!transient || attempt == max_attempts) return result;
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(backoff, retry.max_backoff_sec)));
+    }
+    backoff = backoff > 0.0 ? backoff * 2.0 : 0.0;
+  }
+  return result;
 }
 
 std::string WriteCsv(const Table& table, const CsvOptions& options) {

@@ -29,6 +29,24 @@ Result<Table> ReadCsv(const std::string& text, const CsvOptions& options = {});
 Result<Table> ReadCsvFile(const std::string& path,
                           const CsvOptions& options = {});
 
+/// Retry policy for transient ingest failures (I/O hiccups, the
+/// csv-read-fault failpoint). Backoff doubles per attempt, capped.
+struct CsvRetryOptions {
+  int max_attempts = 4;
+  double initial_backoff_sec = 0.0;  // 0 in tests: retries stay instant
+  double max_backoff_sec = 0.1;
+};
+
+/// ReadCsvFile with bounded-exponential-backoff retries. Only *transient*
+/// failures (kExecutionError, kInternal) are retried; deterministic ones —
+/// missing file, parse error, bad schema — fail immediately, since retrying
+/// cannot change their outcome. `attempts`, when non-null, reports how many
+/// attempts ran (1 = first try succeeded).
+Result<Table> ReadCsvFileWithRetry(const std::string& path,
+                                   const CsvOptions& options,
+                                   const CsvRetryOptions& retry,
+                                   int* attempts = nullptr);
+
 /// Serializes a table back to CSV (round-trips ReadCsv modulo type
 /// formatting).
 std::string WriteCsv(const Table& table, const CsvOptions& options = {});

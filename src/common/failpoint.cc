@@ -1,0 +1,287 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace iolap {
+
+namespace {
+
+constexpr const char* kFailpointNames[] = {
+#define IOLAP_FAILPOINT_NAME_ENTRY(symbol, name) name,
+    IOLAP_FAILPOINT_NAMES(IOLAP_FAILPOINT_NAME_ENTRY)
+#undef IOLAP_FAILPOINT_NAME_ENTRY
+};
+static_assert(sizeof(kFailpointNames) / sizeof(kFailpointNames[0]) ==
+              static_cast<size_t>(kNumFailpoints));
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  bool negative = false;
+  if (!s.empty() && (s.front() == '-' || s.front() == '+')) {
+    negative = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  uint64_t magnitude = 0;
+  if (!ParseUint64(s, &magnitude)) return false;
+  *out = negative ? -static_cast<int64_t>(magnitude)
+                  : static_cast<int64_t>(magnitude);
+  return true;
+}
+
+bool ParseProbability(std::string_view s, double* out) {
+  // Accepts a plain decimal in [0, 1] ("0.25", "1", ".5").
+  char* end = nullptr;
+  const std::string owned(s);
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end == nullptr || *end != '\0' || owned.empty()) return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;
+  *out = v;
+  return true;
+}
+
+/// Deterministic per-hit draw: a pure function of (seed, detail, hit
+/// index), so a replayed hit at the same detail redraws with its new hit
+/// index instead of deterministically re-failing forever.
+bool ProbDraw(uint64_t seed, uint64_t detail, uint64_t hit, double prob) {
+  const uint64_t h = Mix64(seed ^ HashCombine(Mix64(detail), hit));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < prob;
+}
+
+}  // namespace
+
+std::atomic<bool> FailpointRegistry::any_armed_{false};
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+const char* FailpointRegistry::Name(Failpoint fp) {
+  return kFailpointNames[static_cast<int>(fp)];
+}
+
+bool FailpointRegistry::Lookup(std::string_view name, Failpoint* out) {
+  for (int i = 0; i < kNumFailpoints; ++i) {
+    if (name == kFailpointNames[i]) {
+      *out = static_cast<Failpoint>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+Status FailpointRegistry::ParseEntry(std::string_view text, Failpoint* fp,
+                                     Entry* out) {
+  const size_t eq = text.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::InvalidArgument("failpoint entry '" + std::string(text) +
+                                   "' is not of the form name=action");
+  }
+  const std::string_view name = Trim(text.substr(0, eq));
+  if (!Lookup(name, fp)) {
+    return Status::InvalidArgument("unknown failpoint '" + std::string(name) +
+                                   "' (see common/failpoint_names.h)");
+  }
+  Entry entry;
+  std::string_view rest = text.substr(eq + 1);
+  bool first_token = true;
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    std::string_view token = Trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    const size_t colon = token.find(':');
+    const std::string_view head = token.substr(0, colon);
+    const std::string_view tail = colon == std::string_view::npos
+                                      ? std::string_view()
+                                      : token.substr(colon + 1);
+    if (first_token) {
+      first_token = false;
+      if (head == "off") {
+        entry.mode = Mode::kOff;
+      } else if (head == "once") {
+        entry.mode = Mode::kOnce;
+      } else if (head == "nth" || head == "every") {
+        entry.mode = head == "nth" ? Mode::kNth : Mode::kEvery;
+        if (!ParseUint64(tail, &entry.n) || entry.n == 0) {
+          return Status::InvalidArgument(
+              "failpoint action '" + std::string(token) +
+              "' needs a positive count (e.g. nth:3)");
+        }
+      } else if (head == "at") {
+        entry.mode = Mode::kAt;
+        if (!ParseUint64(tail, &entry.at_detail)) {
+          return Status::InvalidArgument("failpoint action '" +
+                                         std::string(token) +
+                                         "' needs a detail value (e.g. at:5)");
+        }
+      } else if (head == "prob") {
+        entry.mode = Mode::kProb;
+        std::string_view p = tail;
+        const size_t seed_colon = p.find(':');
+        if (seed_colon != std::string_view::npos) {
+          if (!ParseUint64(p.substr(seed_colon + 1), &entry.prob_seed)) {
+            return Status::InvalidArgument("failpoint '" + std::string(token) +
+                                           "': bad probability seed");
+          }
+          p = p.substr(0, seed_colon);
+        }
+        if (!ParseProbability(p, &entry.prob)) {
+          return Status::InvalidArgument(
+              "failpoint '" + std::string(token) +
+              "': probability must be in [0, 1] (e.g. prob:0.1:7)");
+        }
+      } else {
+        return Status::InvalidArgument(
+            "unknown failpoint action '" + std::string(token) +
+            "' (off|once|nth:N|every:N|at:D|prob:P[:S])");
+      }
+      continue;
+    }
+    if (head == "arg") {
+      if (!ParseInt64(tail, &entry.arg)) {
+        return Status::InvalidArgument("failpoint option '" +
+                                       std::string(token) +
+                                       "': arg needs an integer value");
+      }
+      entry.has_arg = true;
+    } else if (head == "times") {
+      uint64_t times = 0;
+      if (!ParseUint64(tail, &times) || times == 0) {
+        return Status::InvalidArgument("failpoint option '" +
+                                       std::string(token) +
+                                       "': times needs a positive count");
+      }
+      entry.times_left = static_cast<int64_t>(times);
+    } else {
+      return Status::InvalidArgument("unknown failpoint option '" +
+                                     std::string(token) +
+                                     "' (arg:V or times:K)");
+    }
+  }
+  if (first_token) {
+    return Status::InvalidArgument("failpoint entry '" + std::string(text) +
+                                   "' has an empty action");
+  }
+  *out = entry;
+  return Status::OK();
+}
+
+Status FailpointRegistry::Configure(const std::string& spec) {
+  // Parse everything before touching the active configuration, so a bad
+  // spec leaves the previous one armed.
+  Entry parsed[kNumFailpoints];
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    const std::string_view piece = Trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    if (piece.empty()) continue;
+    Failpoint fp;
+    Entry entry;
+    IOLAP_RETURN_IF_ERROR(ParseEntry(piece, &fp, &entry));
+    parsed[static_cast<int>(fp)] = entry;  // later entries win
+  }
+  bool any = false;
+  {
+    MutexLock lock(mu_);
+    for (int i = 0; i < kNumFailpoints; ++i) {
+      entries_[i] = parsed[i];
+      any = any || entries_[i].mode != Mode::kOff;
+    }
+  }
+  any_armed_.store(any, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FailpointRegistry::Clear() {
+  {
+    MutexLock lock(mu_);
+    for (Entry& entry : entries_) entry = Entry{};
+  }
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FailpointRegistry::Fires(Failpoint fp, uint64_t detail) {
+  MutexLock lock(mu_);
+  Entry& entry = entries_[static_cast<int>(fp)];
+  if (entry.mode == Mode::kOff) return false;
+  const uint64_t hit = ++entry.hits;
+  if (entry.times_left == 0) return false;
+  bool fires = false;
+  switch (entry.mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kOnce:
+      fires = hit == 1;
+      break;
+    case Mode::kNth:
+      fires = hit == entry.n;
+      break;
+    case Mode::kEvery:
+      fires = hit % entry.n == 0;
+      break;
+    case Mode::kAt:
+      fires = detail == entry.at_detail;
+      break;
+    case Mode::kProb:
+      fires = ProbDraw(entry.prob_seed, detail, hit, entry.prob);
+      break;
+  }
+  if (fires) {
+    ++entry.fired;
+    if (entry.times_left > 0) --entry.times_left;
+  }
+  return fires;
+}
+
+int64_t FailpointRegistry::Arg(Failpoint fp, int64_t def) {
+  MutexLock lock(mu_);
+  const Entry& entry = entries_[static_cast<int>(fp)];
+  return entry.has_arg ? entry.arg : def;
+}
+
+uint64_t FailpointRegistry::hits(Failpoint fp) {
+  MutexLock lock(mu_);
+  return entries_[static_cast<int>(fp)].hits;
+}
+
+uint64_t FailpointRegistry::fired(Failpoint fp) {
+  MutexLock lock(mu_);
+  return entries_[static_cast<int>(fp)].fired;
+}
+
+std::string MergedFailpointSpec(const std::string& spec) {
+  const char* env = std::getenv("IOLAP_FAILPOINTS");
+  std::string merged = env != nullptr ? env : "";
+  if (!merged.empty() && !spec.empty()) merged += ';';
+  merged += spec;
+  return merged;
+}
+
+}  // namespace iolap

@@ -1,0 +1,180 @@
+#ifndef IOLAP_COMMON_FAILPOINT_H_
+#define IOLAP_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/failpoint_names.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace iolap {
+
+/// Deterministic fault injection (docs/INTERNALS.md §9).
+///
+/// Call sites guard their failure path with the IOLAP_FAILPOINT macro:
+///
+///   if (IOLAP_FAILPOINT(Failpoint::kCsvReadFault, attempt)) {
+///     return Status::ExecutionError("injected: csv-read-fault");
+///   }
+///
+/// and stay zero-cost unless a spec armed at least one failpoint: the macro
+/// is one relaxed atomic load when the registry is idle, and compiles to a
+/// constant `false` under -DIOLAP_DISABLE_FAILPOINTS (CMake option
+/// IOLAP_FAILPOINTS=OFF).
+///
+/// Activation comes from a *spec* string — `EngineOptions::failpoints`, the
+/// IOLAP_FAILPOINTS environment variable, or a direct Configure() call:
+///
+///   spec    := entry (';' entry)*
+///   entry   := name '=' action (',' option)*
+///   action  := 'off' | 'once' | 'nth:' N | 'every:' N
+///            | 'at:' D | 'prob:' P [':' S]
+///   option  := 'arg:' V | 'times:' K
+///
+/// `name` must appear in the inventory (common/failpoint_names.h). Actions:
+/// `once` fires on the first hit only; `nth:N` on the Nth hit (1-based);
+/// `every:N` on every Nth hit; `at:D` whenever the call site's detail value
+/// equals D (details are deterministic site facts — usually the batch
+/// number — so `at:` schedules are independent of thread count); `prob:P`
+/// fires with probability P per hit, drawn deterministically from seed S
+/// (default 0) and the hit's (detail, index), so a replayed hit redraws.
+/// Options: `arg:V` is an int64 payload the site interprets (e.g. rollback
+/// depth); `times:K` caps the total number of fires.
+///
+/// Hit-count-based modes (`once`/`nth`/`every`/`prob`) observe the dynamic
+/// hit order, which for pool-side sites depends on scheduling; every
+/// injected fault in this engine is recovery-absorbed, so that freedom
+/// never changes results — schedules that must be exactly reproducible use
+/// `at:` with `times:`.
+class FailpointRegistry {
+ public:
+  /// The process-wide registry. Configure/Clear and Fires are
+  /// mutex-protected; the fast path (AnyArmedFast) is lock-free.
+  static FailpointRegistry& Instance();
+
+  /// Replaces the active configuration with `spec` (parsed all-or-nothing;
+  /// on a parse error the previous configuration is kept). An empty spec
+  /// disarms everything.
+  [[nodiscard]] Status Configure(const std::string& spec)
+      IOLAP_EXCLUDES(mu_);
+
+  /// Disarms every failpoint and resets hit/fire counters.
+  void Clear() IOLAP_EXCLUDES(mu_);
+
+  /// Records a hit at `fp` and decides whether the site must fail.
+  /// `detail` is a deterministic site fact (usually the batch number).
+  bool Fires(Failpoint fp, uint64_t detail) IOLAP_EXCLUDES(mu_);
+
+  /// The `arg:` payload of `fp`'s active entry, or `def` when unset.
+  /// (Non-const: takes the registry mutex, which stays un-mutable.)
+  int64_t Arg(Failpoint fp, int64_t def) IOLAP_EXCLUDES(mu_);
+
+  /// Test introspection: hits seen / faults fired since the last
+  /// Configure/Clear.
+  uint64_t hits(Failpoint fp) IOLAP_EXCLUDES(mu_);
+  uint64_t fired(Failpoint fp) IOLAP_EXCLUDES(mu_);
+
+  /// True when any failpoint is armed — the macro's fast path.
+  static bool AnyArmedFast() {
+    return any_armed_.load(std::memory_order_relaxed);
+  }
+
+  static const char* Name(Failpoint fp);
+  /// Resolves an inventory name; returns false for unknown names.
+  static bool Lookup(std::string_view name, Failpoint* out);
+
+ private:
+  FailpointRegistry() = default;
+
+  enum class Mode : uint8_t { kOff, kOnce, kNth, kEvery, kAt, kProb };
+  struct Entry {
+    Mode mode = Mode::kOff;
+    uint64_t n = 0;         // nth / every period
+    uint64_t at_detail = 0; // at: match value
+    double prob = 0.0;      // prob: probability per hit
+    uint64_t prob_seed = 0;
+    int64_t arg = 0;
+    bool has_arg = false;
+    int64_t times_left = -1;  // remaining fires; < 0 = unlimited
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+
+  static Status ParseEntry(std::string_view text, Failpoint* fp, Entry* out);
+
+  static std::atomic<bool> any_armed_;
+
+  Mutex mu_;
+  Entry entries_[kNumFailpoints] IOLAP_GUARDED_BY(mu_);
+};
+
+/// Thrown by call sites that simulate a transient crash inside a pool task
+/// body; the pool's idempotent-task wrapper absorbs it by re-running the
+/// body (common/thread_pool.h).
+class FailpointInjectedError : public std::runtime_error {
+ public:
+  explicit FailpointInjectedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Arms a spec for one scope (QueryController::Run arms the merged
+/// EngineOptions + environment spec for the duration of the run). An empty
+/// spec is a no-op — it neither arms nor clears, so configurations
+/// installed directly by tests survive runs that carry no spec of their
+/// own.
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(const std::string& spec) {
+    if (spec.empty()) return;
+    active_ = true;
+    status_ = FailpointRegistry::Instance().Configure(spec);
+  }
+  ~ScopedFailpoints() {
+    if (active_) FailpointRegistry::Instance().Clear();
+  }
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+
+  /// Parse status of the spec (OK when empty).
+  const Status& status() const { return status_; }
+
+ private:
+  bool active_ = false;
+  Status status_ = Status::OK();
+};
+
+/// Merges the IOLAP_FAILPOINTS environment spec (first) with `spec`
+/// (second, so it wins on name collisions). Either part may be empty.
+std::string MergedFailpointSpec(const std::string& spec);
+
+#if !defined(IOLAP_DISABLE_FAILPOINTS)
+
+#define IOLAP_FAILPOINT(fp, detail)              \
+  (::iolap::FailpointRegistry::AnyArmedFast() && \
+   ::iolap::FailpointRegistry::Instance().Fires( \
+       (fp), static_cast<uint64_t>(detail)))
+
+inline int64_t FailpointArg(Failpoint fp, int64_t def) {
+  return FailpointRegistry::Instance().Arg(fp, def);
+}
+
+#else  // IOLAP_DISABLE_FAILPOINTS
+
+// Compiled out: the operands are still evaluated (they are cheap constants
+// or locals, and this avoids unused-variable warnings), the branch is a
+// compile-time `false`.
+#define IOLAP_FAILPOINT(fp, detail) \
+  (static_cast<void>(fp), static_cast<void>(detail), false)
+
+inline int64_t FailpointArg(Failpoint /*fp*/, int64_t def) { return def; }
+
+#endif  // IOLAP_DISABLE_FAILPOINTS
+
+}  // namespace iolap
+
+#endif  // IOLAP_COMMON_FAILPOINT_H_

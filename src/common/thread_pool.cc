@@ -3,7 +3,35 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace iolap {
+
+namespace {
+
+/// Executes one parallel task body. For idempotent bodies the
+/// pool-task-fault failpoint simulates a worker dying *after* its (partial
+/// or complete) work: the doomed attempt runs, "crashes", and the body is
+/// re-run — idempotency makes the duplicate work invisible, which is
+/// precisely the property the injection exercises. `detail` is the task's
+/// first index: deterministic per task, though the order in which
+/// concurrent tasks consult the failpoint follows scheduling (hit-count
+/// activation modes pick a scheduling-dependent task; `at:`/`prob:` keyed
+/// on the detail do not).
+void RunTaskBody(bool idempotent, uint64_t detail,
+                 const std::function<void()>& body) {
+  if (idempotent && IOLAP_FAILPOINT(Failpoint::kPoolTaskFault, detail)) {
+    try {
+      body();
+      throw FailpointInjectedError("pool-task-fault");
+    } catch (const FailpointInjectedError&) {
+      // Transient crash absorbed; retry below.
+    }
+  }
+  body();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   workers_.reserve(num_threads);
@@ -67,9 +95,12 @@ void ThreadPool::WaitGroup(TaskGroup* group) {
 }
 
 void ThreadPool::ParallelFor(size_t count,
-                             const std::function<void(size_t)>& fn) {
+                             const std::function<void(size_t)>& fn,
+                             bool idempotent) {
   if (workers_.empty() || count <= 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+    RunTaskBody(idempotent, 0, [count, &fn] {
+      for (size_t i = 0; i < count; ++i) fn(i);
+    });
     return;
   }
   // Chunk so each worker receives at most a handful of tasks.
@@ -80,8 +111,10 @@ void ThreadPool::ParallelFor(size_t count,
     const size_t begin = c * per_chunk;
     const size_t end = std::min(count, begin + per_chunk);
     if (begin >= end) break;
-    SubmitToGroup(&group, [begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
+    SubmitToGroup(&group, [begin, end, &fn, idempotent] {
+      RunTaskBody(idempotent, begin, [begin, end, &fn] {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      });
     });
   }
   WaitGroup(&group);
@@ -89,10 +122,11 @@ void ThreadPool::ParallelFor(size_t count,
 
 void ThreadPool::ParallelRanges(
     size_t count,
-    const std::function<void(size_t, size_t, size_t)>& fn) {
+    const std::function<void(size_t, size_t, size_t)>& fn,
+    bool idempotent) {
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
-    fn(0, count, 0);
+    RunTaskBody(idempotent, 0, [count, &fn] { fn(0, count, 0); });
     return;
   }
   const size_t lanes = std::min(count, num_lanes());
@@ -102,7 +136,10 @@ void ThreadPool::ParallelRanges(
     const size_t begin = lane * per_lane;
     const size_t end = std::min(count, begin + per_lane);
     if (begin >= end) break;
-    SubmitToGroup(&group, [begin, end, lane, &fn] { fn(begin, end, lane); });
+    SubmitToGroup(&group, [begin, end, lane, &fn, idempotent] {
+      RunTaskBody(idempotent, begin,
+                  [begin, end, lane, &fn] { fn(begin, end, lane); });
+    });
   }
   WaitGroup(&group);
 }

@@ -60,8 +60,18 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, count), partitioned across the pool, and
   /// waits. Rethrows the first exception fn raised. Safe to call
   /// concurrently from multiple non-pool threads.
-  void ParallelFor(size_t count, const std::function<void(size_t)>& fn)
-      IOLAP_EXCLUDES(mu_);
+  ///
+  /// `idempotent` declares that re-running a task body after arbitrary
+  /// partial work leaves the same final state (true of the engine's pure
+  /// evaluation phases, which only overwrite disjoint output slots). Only
+  /// idempotent bodies participate in fault injection: the pool-task-fault
+  /// failpoint makes an attempt die with FailpointInjectedError after its
+  /// work, and the wrapper absorbs the crash by re-running the body —
+  /// chaos-testing exactly the retry that idempotency licenses. Bodies
+  /// whose re-execution would double-apply (e.g. trial-accumulator adds)
+  /// must stay non-idempotent and are never injected.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                   bool idempotent = false) IOLAP_EXCLUDES(mu_);
 
   /// Runs fn(begin, end, lane) over a static partition of [0, count) into
   /// at most num_lanes() contiguous ranges and waits. The lane index is a
@@ -69,10 +79,11 @@ class ThreadPool {
   /// happens to execute it), so per-lane resources — e.g. an Rng split via
   /// Rng::ForLane(seed, lane) — yield results independent of scheduling.
   /// Inline mode runs a single range [0, count) with lane 0.
+  /// `idempotent` as in ParallelFor.
   void ParallelRanges(
       size_t count,
-      const std::function<void(size_t begin, size_t end, size_t lane)>& fn)
-      IOLAP_EXCLUDES(mu_);
+      const std::function<void(size_t begin, size_t end, size_t lane)>& fn,
+      bool idempotent = false) IOLAP_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/failpoint.h"
+
 namespace iolap {
 
 // The serial apply phase's capability object. Purely static: it is never
@@ -43,14 +45,31 @@ void AggregateRegistry::SetBlockScale(int block, double scale) {
 }
 
 void AggregateRegistry::CheckRanges(Relation& rel, const Row& key,
-                                    Entry& entry, PublishResult* result) {
+                                    Entry& entry, int batch,
+                                    PublishResult* result) {
   for (size_t a = 0; a < entry.ranges.size(); ++a) {
     const double s = ColScale(rel, a);
     const double v =
         (entry.main[a].is_null() ? 0.0 : entry.main[a].AsDouble()) * s;
-    // The replica envelope is linear in the scale (s > 0 always).
-    const auto update = entry.ranges[a].UpdateEnvelope(
-        v, entry.env_lo[a] * s, entry.env_hi[a] * s, entry.env_sd[a] * s);
+    // Fault injection: a natural-typed envelope escape. The tracker walks
+    // back its constraint history like a real violation (and its state
+    // stays unfolded, like a real violation), so everything below —
+    // failure accounting, rollback targeting, the frozen replay — runs the
+    // production path. Not flagged `injected`: the recovery must behave
+    // exactly as if the envelope had really escaped. A tracker with no
+    // finite constraint cannot fail; it falls through to the real update
+    // so every successful batch folds exactly one snapshot (the rollback
+    // targeting below converts history indexes to batches).
+    VariationRangeTracker::UpdateResult update;
+    if (IOLAP_FAILPOINT(Failpoint::kRegistryEnvelopeFault, batch)) {
+      update = entry.ranges[a].InjectInconsistency();
+    }
+    if (update.ok) {
+      // The replica envelope is linear in the scale (s > 0 always).
+      update = entry.ranges[a].UpdateEnvelope(v, entry.env_lo[a] * s,
+                                              entry.env_hi[a] * s,
+                                              entry.env_sd[a] * s);
+    }
     if (!update.ok) {
       // The failure invalidates pruning decisions that constrained this
       // value: request recovery. A value that keeps betraying its
@@ -127,13 +146,25 @@ AggregateRegistry::PublishResult AggregateRegistry::Publish(
   }
   PublishResult result;
   if (track_ranges && !entry.range_disabled) {
-    CheckRanges(rel, key, entry, &result);
+    CheckRanges(rel, key, entry, batch, &result);
+  }
+  // Fault injection: a spurious failed verdict for a group that actually
+  // passed its checks. Marked `injected`: nothing is wrong with the
+  // registered constraints, so the controller replays with unfrozen ranges
+  // and the recovery reproduces the fault-free run exactly.
+  if (result.ok && track_ranges &&
+      IOLAP_FAILPOINT(Failpoint::kRegistryPublishFault, batch)) {
+    result.ok = false;
+    result.injected = true;
+    const int64_t depth = FailpointArg(Failpoint::kRegistryPublishFault, 1);
+    result.rollback_to =
+        static_cast<int>(std::max<int64_t>(-1, batch - depth));
   }
   return result;
 }
 
 AggregateRegistry::PublishResult AggregateRegistry::Refresh(
-    int block, const Row& key, int /*batch*/, bool track_ranges) {
+    int block, const Row& key, int batch, bool track_ranges) {
   Relation& rel = relations_[block];
   auto it = rel.entries.find(key);
   PublishResult result;
@@ -143,7 +174,7 @@ AggregateRegistry::PublishResult AggregateRegistry::Refresh(
   }
   Entry& entry = it->second;
   if (track_ranges && !entry.range_disabled) {
-    CheckRanges(rel, key, entry, &result);
+    CheckRanges(rel, key, entry, batch, &result);
   }
   return result;
 }
@@ -195,6 +226,17 @@ void AggregateRegistry::RollbackTo(int batch, int freeze_updates) {
         tracker.RecoverTo(batch - entry.first_batch, freeze_updates);
       }
       ++it;
+    }
+  }
+}
+
+void AggregateRegistry::ScaleSlack(double factor) {
+  slack_ *= factor;
+  for (Relation& rel : relations_) {
+    for (auto& [key, entry] : rel.entries) {
+      for (VariationRangeTracker& tracker : entry.ranges) {
+        tracker.ScaleSlack(factor);
+      }
     }
   }
 }

@@ -57,6 +57,12 @@ class AggregateRegistry final : public AggLookupResolver,
     int rollback_to = -1;
     /// Refresh only: the group has no entry yet (publish it fully).
     bool missing = false;
+    /// The failure is a failpoint-injected spurious verdict, not a real
+    /// constraint violation. The controller replays injected-only
+    /// recoveries with *unfrozen* ranges: the replay cannot livelock (no
+    /// decision actually went bad) and reproduces the fault-free execution
+    /// bit for bit — see docs/INTERNALS.md §9.
+    bool injected = false;
   };
 
   /// Sets block `block`'s current multiplicity scale m_i; call once per
@@ -91,6 +97,10 @@ class AggregateRegistry final : public AggLookupResolver,
   /// VariationRangeTracker::RecoverTo).
   void RollbackTo(int batch, int freeze_updates = 0)
       IOLAP_REQUIRES(engine_serial_phase);
+
+  /// Recovery-storm degradation (staircase level 1): scales the envelope
+  /// slack ε of every live tracker and of trackers created from now on.
+  void ScaleSlack(double factor) IOLAP_REQUIRES(engine_serial_phase);
 
   /// Number of groups currently published for `block`.
   size_t GroupCount(int block) const;
@@ -182,8 +192,9 @@ class AggregateRegistry final : public AggLookupResolver,
   }
 
   /// Per-column integrity updates for `entry` under the current scale;
-  /// shared by Publish and Refresh.
-  void CheckRanges(Relation& rel, const Row& key, Entry& entry,
+  /// shared by Publish and Refresh. `batch` feeds the fault-injection
+  /// seams (registry-envelope-fault keys its schedule on it).
+  void CheckRanges(Relation& rel, const Row& key, Entry& entry, int batch,
                    PublishResult* result) IOLAP_REQUIRES(engine_serial_phase);
 
   double slack_;

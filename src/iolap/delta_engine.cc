@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "common/hash.h"
 
 namespace iolap {
 
@@ -15,6 +19,12 @@ bool InputGrows(const QueryPlan& /*plan*/,
   const BlockInput& input = block.inputs[k];
   if (input.kind == BlockInput::Kind::kBaseTable) return input.streamed;
   return annotations[input.source_block].dynamic;
+}
+
+uint64_t DoubleBits(double x) {
+  uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
 }
 
 }  // namespace
@@ -133,7 +143,11 @@ IntervalTruth BlockExecutor::Classify(const ExecRow& row,
                                       RangeConstraintSink* sink) const {
   if (block_->filter == nullptr) return IntervalTruth::kAlwaysTrue;
   EvalContext ctx = MainContext();
-  if (classification_enabled()) {
+  // With pruning disabled (recovery-storm staircase level 2) fall through
+  // to conservative tagging: nothing is decided, so no new obligations are
+  // registered — but range maintenance stays on and existing obligations
+  // are still verified (unlike DisableClassification).
+  if (classification_enabled() && !pruning_disabled_) {
     // Persistent (non-stateless) blocks act on decided outcomes across
     // batches, so every decided comparison must register the bounds that
     // keep it valid (the constraints the §5.1 integrity check enforces).
@@ -257,6 +271,10 @@ void BlockExecutor::EvaluateRow(ExecRow* row, bool charge_regeneration,
     }
   };
   BufferedSink sink;
+  // The clear makes re-evaluation exactly idempotent (the pool-task-fault
+  // retry path): a fresh RowEval's vector is already empty, but a retried
+  // one holds the doomed attempt's registrations.
+  ev->constraints.clear();
   sink.ops = &ev->constraints;
   ev->truth = Classify(*row, &sink);
 
@@ -470,7 +488,10 @@ int BlockExecutor::ProcessBatch(int batch, double scale,
     }
   };
   if (pool_ != nullptr) {
-    pool_->ParallelRanges(total_rows, evaluate);
+    // Pure evaluation into disjoint scratch slots: re-running a range after
+    // a simulated worker crash overwrites the same slots, so the phase is
+    // idempotent and participates in pool-task fault injection.
+    pool_->ParallelRanges(total_rows, evaluate, /*idempotent=*/true);
   } else {
     evaluate(0, total_rows, 0);
   }
@@ -529,6 +550,7 @@ int BlockExecutor::ProcessBatch(int batch, double scale,
 int BlockExecutor::PublishOutput(int batch, double scale,
                                  const GroupedAggregateState& temp,
                                  BlockBatchStats* stats) {
+  rollback_injected_ = false;
   if (!block_->has_aggregate()) return kNoRollback;
 
   // Aggregates directly over the streamed relation scale their magnitude
@@ -549,11 +571,15 @@ int BlockExecutor::PublishOutput(int batch, double scale,
   const bool track = consumed_downstream_ && classification_enabled();
 
   int rollback = kNoRollback;
+  // AND-reduced over every failure this batch: the recovery counts as
+  // injected only when *no* real constraint violation contributed.
+  bool injected_only = true;
   latest_output_.clear();
   std::unordered_set<Row, RowHash, RowEq> temp_keys_now;
 
   auto note_result = [&](const AggregateRegistry::PublishResult& result) {
     if (!result.ok) {
+      injected_only = injected_only && result.injected;
       if (rollback == kNoRollback || result.rollback_to < rollback) {
         rollback = result.rollback_to;
       }
@@ -707,7 +733,9 @@ int BlockExecutor::PublishOutput(int batch, double scale,
     }
   };
   if (pool_ != nullptr) {
-    pool_->ParallelFor(work.size(), prepare);
+    // Pure per-slot materialization (materialize/collect_clean clear their
+    // outputs first), so a crashed-and-retried chunk is harmless.
+    pool_->ParallelFor(work.size(), prepare, /*idempotent=*/true);
   } else {
     for (size_t i = 0; i < work.size(); ++i) prepare(i);
   }
@@ -746,6 +774,19 @@ int BlockExecutor::PublishOutput(int batch, double scale,
   }
   prev_temp_keys_ = std::move(temp_keys_now);
   force_full_publish_ = false;
+
+  // Spurious integrity verdict (fault injection): report a failure even
+  // though every check passed. Only meaningful while classification is
+  // live — with track off a natural verdict is impossible too — and only
+  // when no real failure already requested a (deeper) recovery. The `arg`
+  // option sets the claimed rollback depth (default 1 batch).
+  if (track && rollback == kNoRollback &&
+      IOLAP_FAILPOINT(Failpoint::kExecIntegrityVerdict, batch)) {
+    const int64_t depth = FailpointArg(Failpoint::kExecIntegrityVerdict, 1);
+    rollback = static_cast<int>(
+        std::max<int64_t>(-1, static_cast<int64_t>(batch) - depth));
+  }
+  rollback_injected_ = rollback != kNoRollback && injected_only;
 
   // Broadcast of the refreshed aggregate relation to every virtual worker
   // (the §6.2 broadcast join that lazy evaluation relies on).
@@ -855,7 +896,56 @@ std::shared_ptr<const BlockExecutor::Checkpoint> BlockExecutor::MakeCheckpoint(
   cp->sketch = sketch_.Clone();
   cp->sink_watermark = sink_rows_.size();
   cp->emitted_watermark = emitted_order_.size();
+  // Checksum the clone, not the live state: restore verifies exactly the
+  // object it is about to replay.
+  cp->checksum = ChecksumCheckpoint(*cp);
+  if (IOLAP_FAILPOINT(Failpoint::kCheckpointCaptureCorrupt, batch)) {
+    cp->checksum ^= 1;  // simulated bit-rot between capture and restore
+  }
   return cp;
+}
+
+uint64_t BlockExecutor::ChecksumCheckpoint(const Checkpoint& checkpoint) {
+  // Scalars and ordered containers fold order-sensitively.
+  uint64_t h = HashCombine(0, static_cast<uint64_t>(checkpoint.batch));
+  for (const JoinStep::Watermark& mark : checkpoint.join_marks) {
+    h = HashCombine(h, mark.input);
+    h = HashCombine(h, mark.prefix);
+  }
+  for (const ExecRow& row : checkpoint.pending) {
+    h = HashCombine(h, HashRow(row.values));
+    h = HashCombine(h, row.stream_uid);
+    h = HashCombine(h, DoubleBits(row.weight));
+  }
+  h = HashCombine(h, checkpoint.sink_watermark);
+  h = HashCombine(h, checkpoint.emitted_watermark);
+  // The sketch map iterates in unspecified order, so group hashes combine
+  // through a commutative wrapping sum. Hashing accumulator *results* (the
+  // bits a restore replays into publication) rather than raw internals
+  // keeps the checksum independent of accumulator representation.
+  uint64_t group_sum = 0;
+  for (const auto& [key, cells] : checkpoint.sketch.groups()) {
+    uint64_t g = HashCombine(HashRow(key),
+                             static_cast<uint64_t>(cells.first_batch));
+    for (const TrialAccumulatorSet& acc : cells.aggs) {
+      const Value main = acc.MainResult(1.0);
+      g = HashCombine(g, main.is_null() ? 0x9e3779b97f4a7c15ULL : main.Hash());
+      for (double trial : acc.TrialResults(1.0)) {
+        g = HashCombine(g, DoubleBits(trial));
+      }
+      g = HashCombine(g, DoubleBits(acc.moment_count()));
+      g = HashCombine(g, DoubleBits(acc.moment_variance()));
+    }
+    group_sum += Mix64(g);
+  }
+  return HashCombine(h, group_sum);
+}
+
+bool BlockExecutor::VerifyCheckpoint(const Checkpoint& checkpoint) {
+  if (IOLAP_FAILPOINT(Failpoint::kCheckpointRestoreFault, checkpoint.batch)) {
+    return false;  // simulated corruption detected at restore time
+  }
+  return ChecksumCheckpoint(checkpoint) == checkpoint.checksum;
 }
 
 void BlockExecutor::Restore(const Checkpoint& checkpoint) {

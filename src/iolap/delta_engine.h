@@ -1,7 +1,9 @@
 #ifndef IOLAP_IOLAP_DELTA_ENGINE_H_
 #define IOLAP_IOLAP_DELTA_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -92,6 +94,11 @@ struct EngineOptions {
   /// *evaluate*; all state mutation happens in serial row/trial order (see
   /// docs/INTERNALS.md, "Parallelism model").
   size_t num_threads = 0;
+  /// Deterministic fault-injection spec armed for the duration of each
+  /// Run(), merged after the IOLAP_FAILPOINTS environment spec (so entries
+  /// here win on collisions). Grammar in common/failpoint.h; empty = no
+  /// injection.
+  std::string failpoints;
 };
 
 /// Per-batch counters produced by one block (folded into BatchMetrics).
@@ -176,6 +183,18 @@ class BlockExecutor {
   /// fallback; keeps results exact at HDA-like cost).
   void DisableClassification() { classification_disabled_ = true; }
 
+  /// Recovery-storm staircase level 2 (softer than DisableClassification):
+  /// Classify stops deciding — every uncertain-filter tuple routes to the
+  /// non-deterministic set and no *new* obligations are registered — but
+  /// range maintenance stays on, so the obligations already registered are
+  /// still verified and can still escalate the recovery.
+  void DisablePruning() { pruning_disabled_ = true; }
+
+  /// True when the last ProcessBatch's rollback request (if any) came only
+  /// from failpoint-injected spurious verdicts: the controller replays it
+  /// with unfrozen ranges, reproducing the fault-free run bit for bit.
+  bool rollback_injected() const { return rollback_injected_; }
+
   /// A block whose single input is an upstream aggregate's output is a
   /// *snapshot consumer*: it re-evaluates the upstream's (small) output
   /// relation from scratch every batch instead of keeping delta state.
@@ -193,9 +212,23 @@ class BlockExecutor {
     GroupedAggregateState sketch;
     size_t sink_watermark = 0;
     size_t emitted_watermark = 0;
+    /// Content hash computed at capture (see ChecksumCheckpoint). Restoring
+    /// verifies it; a mismatch means the snapshot is corrupt and the
+    /// controller escalates to an older checkpoint or a full restart
+    /// instead of silently replaying bad state.
+    uint64_t checksum = 0;
   };
 
   std::shared_ptr<const Checkpoint> MakeCheckpoint(int batch) const;
+
+  /// Order-insensitive content hash over everything a restore would replay
+  /// (batch, join watermarks, pending rows, sketch accumulator results).
+  static uint64_t ChecksumCheckpoint(const Checkpoint& checkpoint);
+
+  /// True when `checkpoint`'s checksum matches its content. The
+  /// checkpoint-restore-fault failpoint forces a mismatch here.
+  static bool VerifyCheckpoint(const Checkpoint& checkpoint);
+
   void Restore(const Checkpoint& checkpoint);
   /// Drops all state (full restart).
   void Reset();
@@ -355,6 +388,8 @@ class BlockExecutor {
   bool feeds_join_;
   bool any_agg_arg_uncertain_ = false;
   bool classification_disabled_ = false;
+  bool pruning_disabled_ = false;
+  bool rollback_injected_ = false;
   bool collect_output_ = false;
   bool collect_trials_ = false;
   bool stateless_ = false;

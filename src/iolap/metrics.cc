@@ -46,6 +46,46 @@ int QueryMetrics::TotalFailureRecoveries() const {
   return total;
 }
 
+int QueryMetrics::TotalFullRestarts() const {
+  int total = 0;
+  for (const auto& b : batches) total += b.full_restarts;
+  return total;
+}
+
+int QueryMetrics::TotalCorruptCheckpoints() const {
+  int total = 0;
+  for (const auto& b : batches) total += b.corrupt_checkpoints;
+  return total;
+}
+
+int QueryMetrics::TotalInjectedFaults() const {
+  int total = 0;
+  for (const auto& b : batches) total += b.injected_faults;
+  return total;
+}
+
+int QueryMetrics::TotalFrozenReplayBatches() const {
+  int total = 0;
+  for (const auto& b : batches) total += b.frozen_replay_batches;
+  return total;
+}
+
+int QueryMetrics::TotalRecoveriesExhausted() const {
+  int total = 0;
+  for (const auto& b : batches) total += b.recoveries_exhausted;
+  return total;
+}
+
+int QueryMetrics::MaxRollbackDepth() const {
+  int best = 0;
+  for (const auto& b : batches) best = std::max(best, b.rollback_depth_max);
+  return best;
+}
+
+bool QueryMetrics::DegradedMode() const {
+  return !batches.empty() && batches.back().degrade_level > 0;
+}
+
 uint64_t QueryMetrics::PeakJoinStateBytes() const {
   uint64_t best = 0;
   for (const auto& b : batches) best = std::max(best, b.join_state_bytes);
@@ -75,7 +115,7 @@ double QueryMetrics::LatencyToFraction(double fraction) const {
 }
 
 std::string QueryMetrics::Summary() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "batches=%zu total=%.3fs cpu=%.3fs recomputed=%llu "
                 "shipped=%.1fMB failures=%d peak_join_state=%.1fMB "
@@ -84,7 +124,22 @@ std::string QueryMetrics::Summary() const {
                 static_cast<unsigned long long>(TotalRecomputedRows()),
                 TotalShippedBytes() / 1e6, TotalFailureRecoveries(),
                 PeakJoinStateBytes() / 1e6, PeakOtherStateBytes() / 1e3);
-  return buf;
+  std::string out = buf;
+  // Recovery detail only when anything actually went wrong, keeping the
+  // healthy-run summary line unchanged.
+  if (TotalFailureRecoveries() > 0 || TotalCorruptCheckpoints() > 0 ||
+      DegradedMode()) {
+    std::snprintf(buf, sizeof(buf),
+                  " max_rollback_depth=%d full_restarts=%d "
+                  "corrupt_checkpoints=%d injected=%d frozen_replays=%d "
+                  "exhausted=%d degraded=%d",
+                  MaxRollbackDepth(), TotalFullRestarts(),
+                  TotalCorruptCheckpoints(), TotalInjectedFaults(),
+                  TotalFrozenReplayBatches(), TotalRecoveriesExhausted(),
+                  DegradedMode() ? 1 : 0);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace iolap

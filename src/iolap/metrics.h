@@ -44,6 +44,28 @@ struct BatchMetrics {
   /// Variation-range integrity failures that triggered recovery this batch
   /// (Fig. 9(d)).
   int failure_recoveries = 0;
+  /// Deepest single rollback this batch, in batches rewound (current batch
+  /// minus restore point; a full restart of batch b counts b + 1).
+  int rollback_depth_max = 0;
+  /// Recoveries that degraded to a full restart (target evicted from the
+  /// checkpoint ring, every candidate corrupt, or storm level 3).
+  int full_restarts = 0;
+  /// Checkpoints whose checksum failed verification during recovery; each
+  /// one forced escalation to an older snapshot or a full restart.
+  int corrupt_checkpoints = 0;
+  /// Recoveries whose failure verdicts were all failpoint-injected (the
+  /// replay runs with unfrozen ranges and reproduces the fault-free bits).
+  int injected_faults = 0;
+  /// Replayed batches processed with frozen variation ranges (natural
+  /// recoveries only), summed over this batch's recoveries.
+  int frozen_replay_batches = 0;
+  /// 1 when this batch exhausted max_recoveries_per_batch and fell back to
+  /// classification-free processing.
+  int recoveries_exhausted = 0;
+  /// Recovery-storm degradation level in effect after this batch:
+  /// 0 = none, 1 = slack widened, 2 = pruning disabled,
+  /// 3 = classification-free.
+  int degrade_level = 0;
 };
 
 /// Accumulated metrics of one incremental query execution.
@@ -59,6 +81,16 @@ struct QueryMetrics {
   uint64_t MaxShippedBytesPerBatch() const;
   double AvgShippedBytesPerBatch() const;
   int TotalFailureRecoveries() const;
+  int TotalFullRestarts() const;
+  int TotalCorruptCheckpoints() const;
+  int TotalInjectedFaults() const;
+  int TotalFrozenReplayBatches() const;
+  int TotalRecoveriesExhausted() const;
+  /// Deepest rollback across the run (0 = no recovery ever rewound state).
+  int MaxRollbackDepth() const;
+  /// True when the run ended in any degraded mode (degrade_level > 0 on the
+  /// final batch): results are still exact, but pruning was reduced or off.
+  bool DegradedMode() const;
   uint64_t PeakJoinStateBytes() const;
   uint64_t PeakOtherStateBytes() const;
   double AvgOtherStateBytes() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 #include "plan/uncertainty_analysis.h"
 
@@ -128,10 +129,12 @@ double QueryController::ScaleAt(int b) const {
          static_cast<double>(seen_rows_[b]);
 }
 
-int QueryController::ProcessOneBatch(int b, BlockBatchStats* stats) {
+int QueryController::ProcessOneBatch(int b, BlockBatchStats* stats,
+                                     bool* injected_only) {
   const RowBatch stream_delta = StreamDelta(b);
   const double scale = ScaleAt(b);
   int rollback = BlockExecutor::kNoRollback;
+  bool injected = true;
 
   for (size_t blk = 0; blk < plan_.blocks.size(); ++blk) {
     const Block& block = plan_.blocks[blk];
@@ -168,42 +171,106 @@ int QueryController::ProcessOneBatch(int b, BlockBatchStats* stats) {
     }
     const int request = executors_[blk]->ProcessBatch(b, scale, deltas, stats);
     if (request != BlockExecutor::kNoRollback) {
+      injected = injected && executors_[blk]->rollback_injected();
       if (rollback == BlockExecutor::kNoRollback || request < rollback) {
         rollback = request;
       }
     }
   }
+  if (injected_only != nullptr) {
+    *injected_only = rollback != BlockExecutor::kNoRollback && injected;
+  }
   return rollback;
 }
 
-int QueryController::RollbackTo(int target, int replay_window) {
+int QueryController::RollbackTo(int target, int current_batch, bool injected,
+                                BatchMetrics* bm) {
   // Failure recovery mutates the registry; it always runs on the driving
   // thread between batches, which the serial-phase role makes checkable.
   ScopedThreadRole serial_phase(engine_serial_phase);
   if (target >= 0) {
-    // Find the checkpoint taken after batch `target`.
-    for (const auto& snapshot : checkpoints_) {
-      if (!snapshot.empty() && snapshot[0]->batch == target) {
-        for (size_t blk = 0; blk < executors_.size(); ++blk) {
-          executors_[blk]->Restore(*snapshot[blk]);
-        }
-        registry_->RollbackTo(target, replay_window);
-        return target;
+    // Walk the ring newest-to-oldest over snapshots at or before the
+    // target. A checkpoint whose checksum no longer matches its content is
+    // corrupt — replaying it would resurrect bad state as silently as the
+    // failure it is meant to undo — so verification failures escalate to
+    // the next older candidate (a deeper but sound rollback).
+    for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+      const auto& snapshot = *it;
+      if (snapshot.empty() || snapshot[0]->batch > target) continue;
+      bool valid = true;
+      for (const auto& checkpoint : snapshot) {
+        valid = valid && BlockExecutor::VerifyCheckpoint(*checkpoint);
       }
+      if (!valid) {
+        bm->corrupt_checkpoints++;
+        continue;
+      }
+      const int restored = snapshot[0]->batch;
+      for (size_t blk = 0; blk < executors_.size(); ++blk) {
+        executors_[blk]->Restore(*snapshot[blk]);
+      }
+      const int depth = current_batch - restored;
+      // Natural failures freeze recovered ranges through the replay window
+      // (livelock prevention); injected ones replay unfrozen — no decision
+      // actually went bad, and the unfrozen replay reproduces the
+      // fault-free bits exactly (docs/INTERNALS.md §9).
+      registry_->RollbackTo(restored, injected ? 0 : depth);
+      bm->rollback_depth_max = std::max(bm->rollback_depth_max, depth);
+      if (!injected) bm->frozen_replay_batches += depth;
+      return restored;
     }
-    // Checkpoint evicted: degrade to a full restart.
-    target = -1;
+    // Target evicted from the ring, or every candidate corrupt: degrade to
+    // a full restart.
   }
   for (auto& executor : executors_) executor->Reset();
-  registry_->RollbackTo(-1, replay_window);
+  const int depth = current_batch + 1;  // everything from batch 0 replays
+  registry_->RollbackTo(-1, injected ? 0 : depth);
   checkpoints_.clear();
+  bm->full_restarts++;
+  bm->rollback_depth_max = std::max(bm->rollback_depth_max, depth);
+  if (!injected) bm->frozen_replay_batches += depth;
   return -1;
+}
+
+int QueryController::ApplyDegradation(int attempts, int rollback,
+                                      BatchMetrics* bm) {
+  const int cap = options_.max_recoveries_per_batch;
+  const int widen_at = std::max(1, cap / 4);
+  const int no_prune_at = std::max(widen_at + 1, cap / 2);
+  if (attempts > cap) {
+    // Staircase level 3 (terminal): classification-free processing cannot
+    // fail, so a full restart here is guaranteed to terminate the storm.
+    degrade_level_ = 3;
+    for (auto& executor : executors_) executor->DisableClassification();
+    bm->recoveries_exhausted = 1;
+    return -1;
+  }
+  if (attempts > no_prune_at && degrade_level_ < 2) {
+    // Level 2: stop making pruning decisions (no new obligations), but
+    // keep verifying the ones already registered.
+    degrade_level_ = 2;
+    for (auto& executor : executors_) executor->DisablePruning();
+  } else if (attempts > widen_at && degrade_level_ < 1) {
+    // Level 1: widen every envelope. Wider padded envelopes mean fewer
+    // future decisions near the edge and fewer obligations to betray —
+    // pruning degrades gracefully instead of flapping.
+    degrade_level_ = 1;
+    ScopedThreadRole serial_phase(engine_serial_phase);
+    registry_->ScaleSlack(2.0);
+  }
+  return rollback;
 }
 
 Status QueryController::Run(const ResultObserver& observer) {
   if (!initialized_) IOLAP_RETURN_IF_ERROR(Init());
+  // Fault-injection spec for this run: environment (IOLAP_FAILPOINTS)
+  // first, per-query options on top. Disarmed when Run returns; an empty
+  // merged spec leaves any externally-installed config untouched.
+  ScopedFailpoints scoped_failpoints(MergedFailpointSpec(options_.failpoints));
+  IOLAP_RETURN_IF_ERROR(scoped_failpoints.status());
   metrics_ = QueryMetrics{};
   checkpoints_.clear();
+  degrade_level_ = 0;
 
   const int num_batches = static_cast<int>(layout_.batches.size());
   for (int b = 0; b < num_batches; ++b) {
@@ -213,20 +280,31 @@ Status QueryController::Run(const ResultObserver& observer) {
     bm.batch = b;
 
     BlockBatchStats stats;
-    int rollback = ProcessOneBatch(b, &stats);
+    bool injected = false;
+    int rollback = ProcessOneBatch(b, &stats, &injected);
+
+    // Scheduler-level fault: a spurious recovery request against an
+    // otherwise clean batch (lost heartbeat, flaky verdict transport).
+    // `arg` sets the claimed rollback depth, default 1.
+    if (rollback == BlockExecutor::kNoRollback &&
+        IOLAP_FAILPOINT(Failpoint::kControllerBatchFault, b)) {
+      const int64_t depth = FailpointArg(Failpoint::kControllerBatchFault, 1);
+      rollback = static_cast<int>(
+          std::max<int64_t>(-1, static_cast<int64_t>(b) - depth));
+      injected = true;
+    }
 
     // Failure recovery (§5.1): roll back to the last consistent batch and
-    // reprocess forward. A recovery storm falls back to classification-free
-    // processing, which cannot fail.
+    // reprocess forward. A recovery storm degrades down the staircase —
+    // wider slack, then no pruning, then classification-free processing,
+    // which cannot fail.
     int attempts = 0;
     while (rollback != BlockExecutor::kNoRollback) {
       ++attempts;
       bm.failure_recoveries++;
-      if (attempts > options_.max_recoveries_per_batch) {
-        for (auto& executor : executors_) executor->DisableClassification();
-        rollback = -1;
-      }
-      const int restored = RollbackTo(rollback, b - rollback);
+      if (injected) bm.injected_faults++;
+      rollback = ApplyDegradation(attempts, rollback, &bm);
+      const int restored = RollbackTo(rollback, b, injected, &bm);
       // Drop checkpoints newer than the restore point.
       while (!checkpoints_.empty() &&
              checkpoints_.back()[0]->batch > restored) {
@@ -235,7 +313,9 @@ Status QueryController::Run(const ResultObserver& observer) {
       rollback = BlockExecutor::kNoRollback;
       for (int bb = restored + 1; bb <= b; ++bb) {
         BlockBatchStats replay_stats;
-        const int request = ProcessOneBatch(bb, &replay_stats);
+        bool replay_injected = false;
+        const int request = ProcessOneBatch(bb, &replay_stats,
+                                            &replay_injected);
         bm.recomputed_rows += replay_stats.input_rows;
         bm.recomputed_rows += replay_stats.recomputed_rows;
         bm.shipped_bytes += replay_stats.shipped_bytes;
@@ -253,10 +333,12 @@ Status QueryController::Run(const ResultObserver& observer) {
         }
         if (request != BlockExecutor::kNoRollback) {
           rollback = request;
+          injected = replay_injected;
           break;
         }
       }
     }
+    bm.degrade_level = degrade_level_;
 
     // Take this batch's checkpoint.
     {

@@ -65,14 +65,29 @@ class QueryController {
 
  private:
   /// Runs every block for batch `b`; returns a rollback target or
-  /// BlockExecutor::kNoRollback.
-  int ProcessOneBatch(int b, BlockBatchStats* stats);
+  /// BlockExecutor::kNoRollback. `injected_only` (optional) reports whether
+  /// every executor that requested the rollback attributes it solely to
+  /// failpoint-injected verdicts.
+  int ProcessOneBatch(int b, BlockBatchStats* stats,
+                      bool* injected_only = nullptr);
 
-  /// Restores all state to the end of batch `target` (-1 = empty),
-  /// freezing recovered variation ranges through the `replay_window`
-  /// batches about to be reprocessed. Returns the batch after which
-  /// processing must resume.
-  int RollbackTo(int target, int replay_window);
+  /// Restores all state to the newest verifiable checkpoint at or before
+  /// batch `target` (-1, or no usable candidate, = full restart). Corrupt
+  /// checkpoints (checksum mismatch) are skipped with escalation to the
+  /// next older snapshot. Natural failures freeze recovered variation
+  /// ranges through the replay window; `injected` recoveries replay
+  /// unfrozen (the fault-free bits are reproduced exactly, and no real
+  /// mis-decision exists to livelock on). Recovery accounting lands in
+  /// `bm`. Returns the batch after which processing must resume.
+  int RollbackTo(int target, int current_batch, bool injected,
+                 BatchMetrics* bm);
+
+  /// Recovery-storm breaker: staircased, one-way degradation keyed on the
+  /// attempt count within one batch — widen envelope slack, then disable
+  /// pruning, then (past max_recoveries_per_batch) fall back to
+  /// classification-free processing, which cannot fail. Returns the
+  /// (possibly overridden) rollback target.
+  int ApplyDegradation(int attempts, int rollback, BatchMetrics* bm);
 
   /// Builds the ExecRow delta of the streamed relation for batch `b`.
   RowBatch StreamDelta(int b) const;
@@ -104,6 +119,9 @@ class QueryController {
   QueryMetrics metrics_;
   PartialResult last_result_;
   bool initialized_ = false;
+  /// Highest recovery-storm staircase level reached so far (sticky for the
+  /// rest of the run; see ApplyDegradation).
+  int degrade_level_ = 0;
 };
 
 }  // namespace iolap

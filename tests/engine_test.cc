@@ -742,5 +742,72 @@ TEST(ParallelDeterminismTest, WorkloadQueriesViaSession) {
   }
 }
 
+// Failure-recovery seams under deterministic injection (failpoint.h).
+// An *injected* integrity verdict rolls back to the requested target,
+// replays with unfrozen ranges, and reproduces the fault-free bits; a
+// *natural* envelope escape must freeze the recovered variation ranges
+// through the replay window instead (the §5.1 livelock guard).
+TEST(RecoveryInjectionTest, InjectedVerdictRollsBackAndReplaysBitIdentical) {
+  Catalog catalog;
+  FillCatalog(&catalog, 1500, /*seed=*/31);
+  auto functions = FunctionRegistry::Default();
+  auto plan = BuildQuery(QueryShape::kSbi, catalog, functions);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  auto run = [&](const std::string& failpoints, QueryMetrics* metrics) {
+    EngineOptions options;
+    // Enough replicas that the baseline run recovers zero times: every
+    // recovery below is attributable to the armed failpoint.
+    options.num_trials = 50;
+    options.num_batches = 6;
+    options.slack = 2.0;
+    options.seed = 13;
+    options.failpoints = failpoints;
+    QueryController controller(&catalog, *plan, options);
+    EXPECT_TRUE(controller.Init().ok());
+    RunFingerprint fp;
+    Status run_status = controller.Run([&](const PartialResult& partial) {
+      fp.partial_rows.push_back(partial.rows);
+      fp.estimates.push_back(partial.estimates);
+      return BatchAction::kContinue;
+    });
+    EXPECT_TRUE(run_status.ok()) << run_status;
+    if (metrics != nullptr) *metrics = controller.metrics();
+    return fp;
+  };
+
+  QueryMetrics baseline;
+  const RunFingerprint clean = run("", &baseline);
+  // The chosen parameters keep the fault-free run recovery-free, so every
+  // counter below isolates the injected fault.
+  ASSERT_EQ(baseline.TotalFailureRecoveries(), 0);
+
+  // Injected verdict at batch 4, rollback depth 2 → restores checkpoint 2.
+  QueryMetrics injected;
+  RunFingerprint faulty =
+      run("exec-integrity-verdict=at:4,times:1,arg:2", &injected);
+  EXPECT_EQ(injected.TotalFailureRecoveries(), 1);
+  EXPECT_EQ(injected.TotalInjectedFaults(), 1);
+  EXPECT_EQ(injected.MaxRollbackDepth(), 2);  // rollback target was batch 2
+  // Injected recoveries replay with *unfrozen* ranges...
+  EXPECT_EQ(injected.TotalFrozenReplayBatches(), 0);
+  EXPECT_FALSE(injected.DegradedMode());
+  // ...and therefore reproduce the fault-free bits. The recomputation /
+  // recovery counters legitimately differ (the replay did extra work), so
+  // only the observable results are compared.
+  faulty.recomputed_rows = clean.recomputed_rows;
+  faulty.failure_recoveries = clean.failure_recoveries;
+  ExpectBitIdentical(faulty, clean, "injected verdict replay");
+
+  // A natural envelope escape at batch 3 freezes the recovered ranges for
+  // the whole replay window (depth ≥ 1 batches).
+  QueryMetrics natural;
+  run("registry-envelope-fault=at:3,times:4", &natural);
+  EXPECT_GE(natural.TotalFailureRecoveries(), 1);
+  EXPECT_EQ(natural.TotalInjectedFaults(), 0);
+  EXPECT_GE(natural.TotalFrozenReplayBatches(), 1);
+  EXPECT_GE(natural.MaxRollbackDepth(), 1);
+}
+
 }  // namespace
 }  // namespace iolap

@@ -1,0 +1,140 @@
+// Unit tests of the deterministic fault-injection subsystem
+// (common/failpoint.{h,cc}): spec parsing, activation modes, options, the
+// environment merge, and scoped arming. Chaos coverage of the engine seams
+// lives in chaos_test.cc.
+
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace iolap {
+namespace {
+
+// Every test leaves the global registry disarmed.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+
+  FailpointRegistry& reg() { return FailpointRegistry::Instance(); }
+};
+
+TEST_F(FailpointTest, DisarmedByDefault) {
+  EXPECT_FALSE(FailpointRegistry::AnyArmedFast());
+  EXPECT_FALSE(IOLAP_FAILPOINT(Failpoint::kCsvReadFault, 0));
+}
+
+TEST_F(FailpointTest, NameInventoryRoundTrips) {
+  Failpoint fp;
+  for (int i = 0; i < kNumFailpoints; ++i) {
+    const char* name = FailpointRegistry::Name(static_cast<Failpoint>(i));
+    ASSERT_TRUE(FailpointRegistry::Lookup(name, &fp)) << name;
+    EXPECT_EQ(static_cast<int>(fp), i) << name;
+  }
+  EXPECT_FALSE(FailpointRegistry::Lookup("no-such-failpoint", &fp));
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  ASSERT_TRUE(reg().Configure("csv-read-fault=once").ok());
+  EXPECT_TRUE(FailpointRegistry::AnyArmedFast());
+  EXPECT_TRUE(IOLAP_FAILPOINT(Failpoint::kCsvReadFault, 7));
+  EXPECT_FALSE(IOLAP_FAILPOINT(Failpoint::kCsvReadFault, 7));
+  EXPECT_FALSE(IOLAP_FAILPOINT(Failpoint::kCsvReadFault, 8));
+  EXPECT_EQ(reg().hits(Failpoint::kCsvReadFault), 3u);
+  EXPECT_EQ(reg().fired(Failpoint::kCsvReadFault), 1u);
+}
+
+TEST_F(FailpointTest, NthAndEveryCountHits) {
+  ASSERT_TRUE(reg().Configure("csv-read-fault=nth:3").ok());
+  EXPECT_FALSE(IOLAP_FAILPOINT(Failpoint::kCsvReadFault, 0));
+  EXPECT_FALSE(IOLAP_FAILPOINT(Failpoint::kCsvReadFault, 0));
+  EXPECT_TRUE(IOLAP_FAILPOINT(Failpoint::kCsvReadFault, 0));
+  EXPECT_FALSE(IOLAP_FAILPOINT(Failpoint::kCsvReadFault, 0));
+
+  ASSERT_TRUE(reg().Configure("csv-read-fault=every:2").ok());
+  int fires = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (IOLAP_FAILPOINT(Failpoint::kCsvReadFault, 0)) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+TEST_F(FailpointTest, AtMatchesDetailAndTimesCapsFires) {
+  ASSERT_TRUE(
+      reg().Configure("exec-integrity-verdict=at:4,times:2,arg:3").ok());
+  EXPECT_FALSE(IOLAP_FAILPOINT(Failpoint::kExecIntegrityVerdict, 3));
+  EXPECT_TRUE(IOLAP_FAILPOINT(Failpoint::kExecIntegrityVerdict, 4));
+  EXPECT_TRUE(IOLAP_FAILPOINT(Failpoint::kExecIntegrityVerdict, 4));
+  // times:2 exhausted: the matching detail no longer fires.
+  EXPECT_FALSE(IOLAP_FAILPOINT(Failpoint::kExecIntegrityVerdict, 4));
+  EXPECT_EQ(FailpointArg(Failpoint::kExecIntegrityVerdict, 1), 3);
+  // Unset arg falls back to the site default.
+  EXPECT_EQ(FailpointArg(Failpoint::kCsvReadFault, 42), 42);
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicInSeedDetailAndHit) {
+  ASSERT_TRUE(reg().Configure("pool-task-fault=prob:0.5:9").ok());
+  std::vector<bool> first;
+  for (uint64_t d = 0; d < 64; ++d) {
+    first.push_back(IOLAP_FAILPOINT(Failpoint::kPoolTaskFault, d));
+  }
+  // Not degenerate at p = 0.5 over 64 draws.
+  EXPECT_GT(reg().fired(Failpoint::kPoolTaskFault), 0u);
+  EXPECT_LT(reg().fired(Failpoint::kPoolTaskFault), 64u);
+  // Re-arming resets the hit counter: the same (seed, detail, hit) sequence
+  // reproduces the same draws.
+  ASSERT_TRUE(reg().Configure("pool-task-fault=prob:0.5:9").ok());
+  for (uint64_t d = 0; d < 64; ++d) {
+    EXPECT_EQ(IOLAP_FAILPOINT(Failpoint::kPoolTaskFault, d), first[d]) << d;
+  }
+}
+
+TEST_F(FailpointTest, SpecErrorsKeepPreviousConfig) {
+  ASSERT_TRUE(reg().Configure("csv-read-fault=once").ok());
+  EXPECT_FALSE(reg().Configure("bogus-name=once").ok());
+  EXPECT_FALSE(reg().Configure("csv-read-fault=flub").ok());
+  EXPECT_FALSE(reg().Configure("csv-read-fault=nth:0").ok());
+  EXPECT_FALSE(reg().Configure("csv-read-fault=prob:2.0").ok());
+  EXPECT_FALSE(reg().Configure("csv-read-fault=once,times:0").ok());
+  EXPECT_FALSE(reg().Configure("csv-read-fault").ok());
+  // The original "once" config survived every rejected spec.
+  EXPECT_TRUE(IOLAP_FAILPOINT(Failpoint::kCsvReadFault, 0));
+}
+
+TEST_F(FailpointTest, LaterEntriesWinAndEmptyPiecesAreSkipped) {
+  ASSERT_TRUE(
+      reg().Configure("csv-read-fault=once; ;csv-read-fault=off;").ok());
+  EXPECT_FALSE(IOLAP_FAILPOINT(Failpoint::kCsvReadFault, 0));
+}
+
+TEST_F(FailpointTest, ScopedArmsAndDisarms) {
+  {
+    ScopedFailpoints scoped("csv-read-fault=once");
+    ASSERT_TRUE(scoped.status().ok());
+    EXPECT_TRUE(FailpointRegistry::AnyArmedFast());
+  }
+  EXPECT_FALSE(FailpointRegistry::AnyArmedFast());
+  // An empty spec neither arms nor clears an existing configuration.
+  ASSERT_TRUE(reg().Configure("csv-read-fault=once").ok());
+  {
+    ScopedFailpoints scoped("");
+    ASSERT_TRUE(scoped.status().ok());
+  }
+  EXPECT_TRUE(FailpointRegistry::AnyArmedFast());
+}
+
+TEST_F(FailpointTest, MergedSpecPutsEnvironmentFirst) {
+  ASSERT_EQ(setenv("IOLAP_FAILPOINTS", "csv-read-fault=once", 1), 0);
+  // Option specs come second, so they win on collisions.
+  EXPECT_EQ(MergedFailpointSpec("csv-read-fault=off"),
+            "csv-read-fault=once;csv-read-fault=off");
+  EXPECT_EQ(MergedFailpointSpec(""), "csv-read-fault=once");
+  ASSERT_EQ(unsetenv("IOLAP_FAILPOINTS"), 0);
+  EXPECT_EQ(MergedFailpointSpec("pool-task-fault=once"),
+            "pool-task-fault=once");
+  EXPECT_EQ(MergedFailpointSpec(""), "");
+}
+
+}  // namespace
+}  // namespace iolap

@@ -25,6 +25,11 @@
 //                     (iolap::Mutex or std::mutex) must carry
 //                     IOLAP_GUARDED_BY / IOLAP_PT_GUARDED_BY — mutable is
 //                     how "logically const" races slip past const-ness.
+//   failpoint-name    Failpoint names live in exactly one inventory header
+//                     (failpoint_names.h), are kebab-case, and are unique.
+//                     Fault-injection specs (IOLAP_FAILPOINTS) address
+//                     failpoints by name, so a duplicated or oddly-spelled
+//                     name silently breaks chaos schedules.
 //
 // Escape hatch: a finding on line L is suppressed by `// NOLINT` or
 // `// NOLINT(rule-name)` on line L, or `// NOLINTNEXTLINE(rule-name)` on
@@ -416,6 +421,80 @@ void CheckGuardedMutable(const FileContent& file,
   }
 }
 
+// --- rule: failpoint-name ------------------------------------------------
+
+// The failpoint inventory is an X-macro inside a #define, which the
+// tokenizer drops with the rest of the preprocessor — so this rule scans
+// raw lines. Inside failpoint_names.h every quoted string in the
+// IOLAP_FAILPOINT_NAMES block must be kebab-case and unique; any other
+// file that defines IOLAP_FAILPOINT_NAMES is declaring a second inventory.
+bool IsKebabCase(const std::string& name) {
+  if (name.empty()) return false;
+  bool prev_dash = true;  // leading dash/empty segment is invalid
+  for (char c : name) {
+    if (c == '-') {
+      if (prev_dash) return false;
+      prev_dash = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      prev_dash = false;
+    } else {
+      return false;
+    }
+  }
+  return !prev_dash;
+}
+
+void CheckFailpointNames(const FileContent& file,
+                         std::vector<Finding>* findings) {
+  const std::string base = fs::path(file.path).filename().string();
+  const bool inventory = base == "failpoint_names.h";
+  bool in_define = false;
+  std::set<std::string> names;
+  for (size_t i = 0; i < file.raw_lines.size(); ++i) {
+    const std::string& line = file.raw_lines[i];
+    const int lineno = static_cast<int>(i) + 1;
+    if (!in_define) {
+      const size_t hash = line.find_first_not_of(" \t");
+      if (hash == std::string::npos || line[hash] != '#') continue;
+      if (line.find("define", hash) == std::string::npos) continue;
+      if (line.find("IOLAP_FAILPOINT_NAMES(") == std::string::npos) continue;
+      if (!inventory) {
+        Emit(file, lineno, "failpoint-name",
+             "failpoint inventory defined outside failpoint_names.h; the "
+             "engine has exactly one inventory header so spec names can "
+             "never diverge",
+             findings);
+        return;
+      }
+      in_define = true;
+    }
+    if (in_define) {
+      // Collect the quoted names on this continuation line.
+      size_t pos = 0;
+      while ((pos = line.find('"', pos)) != std::string::npos) {
+        const size_t end = line.find('"', pos + 1);
+        if (end == std::string::npos) break;
+        const std::string name = line.substr(pos + 1, end - pos - 1);
+        if (!IsKebabCase(name)) {
+          Emit(file, lineno, "failpoint-name",
+               "failpoint name \"" + name +
+                   "\" is not kebab-case ([a-z0-9] words joined by '-'); "
+                   "IOLAP_FAILPOINTS specs address failpoints by name",
+               findings);
+        } else if (!names.insert(name).second) {
+          Emit(file, lineno, "failpoint-name",
+               "duplicate failpoint name \"" + name +
+                   "\"; names are the spec-level identity and must be unique",
+               findings);
+        }
+        pos = end + 1;
+      }
+      // The X-macro block ends at the first line without a continuation.
+      if (line.empty() || line.back() != '\\') in_define = false;
+    }
+  }
+}
+
 // --- input gathering -----------------------------------------------------
 
 bool HasSourceExtension(const fs::path& p) {
@@ -604,6 +683,7 @@ int main(int argc, char** argv) {
     CheckValueGet(file, &findings);
     CheckRngConstruction(file, &findings);
     CheckGuardedMutable(file, &findings);
+    CheckFailpointNames(file, &findings);
   }
 
   std::sort(findings.begin(), findings.end(),

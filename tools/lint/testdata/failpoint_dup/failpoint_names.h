@@ -1,0 +1,11 @@
+// Fixture for the failpoint-name rule: a duplicated (otherwise well-formed)
+// name in an inventory header. Exactly one finding expected.
+#ifndef IOLAP_LINT_TESTDATA_FAILPOINT_DUP_FAILPOINT_NAMES_H_
+#define IOLAP_LINT_TESTDATA_FAILPOINT_DUP_FAILPOINT_NAMES_H_
+
+#define IOLAP_FAILPOINT_NAMES(X) \
+  X(kFirstSeam, "shared-seam")   \
+  X(kSecondSeam, "other-seam")   \
+  X(kThirdSeam, "shared-seam")
+
+#endif  // IOLAP_LINT_TESTDATA_FAILPOINT_DUP_FAILPOINT_NAMES_H_

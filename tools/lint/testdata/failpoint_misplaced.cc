@@ -1,0 +1,7 @@
+// Fixture for the failpoint-name rule: a second failpoint inventory
+// declared outside failpoint_names.h. Exactly one finding expected.
+
+#define IOLAP_FAILPOINT_NAMES(X) \
+  X(kRogueSeam, "rogue-seam")
+
+int rogue_inventory_marker = 0;

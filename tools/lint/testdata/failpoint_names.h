@@ -1,0 +1,13 @@
+// Fixture for the failpoint-name rule: this file mimics the inventory
+// header (the rule keys on the basename), with one name that is not
+// kebab-case. Exactly one finding expected.
+#ifndef IOLAP_LINT_TESTDATA_FAILPOINT_NAMES_H_
+#define IOLAP_LINT_TESTDATA_FAILPOINT_NAMES_H_
+
+#define IOLAP_FAILPOINT_NAMES(X)              \
+  X(kGoodSeam, "good-seam")                   \
+  X(kAnotherGoodSeam, "another-good-seam-2")  \
+  X(kBadSeam, "Bad_Seam")                     \
+  X(kLastSeam, "last-seam")
+
+#endif  // IOLAP_LINT_TESTDATA_FAILPOINT_NAMES_H_
