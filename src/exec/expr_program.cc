@@ -1,5 +1,6 @@
 #include "exec/expr_program.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <optional>
@@ -498,7 +499,15 @@ void ExprProgram::InitState(ExprProgramState* st) const {
     st->keys_[i].reserve(agg_sites_[i].key_regs.size());
   }
   st->aggs_.assign(agg_sites_.size(), AggSlot{});
-  st->owned_.assign(owned_slots_, Value());
+  // kCallGeneric trusts CallSite::owned_slot at run time (the hot loop does
+  // not re-check it), so the owned pool must cover every slot any site
+  // names, not just the compiler's owned_slots_ claim — a corrupted site
+  // must never become an out-of-bounds write.
+  size_t owned = owned_slots_;
+  for (const CallSite& site : call_sites_) {
+    owned = std::max(owned, static_cast<size_t>(site.owned_slot) + 1);
+  }
+  st->owned_.assign(owned, Value());
   st->num_args_.assign(max_call_args_, NumericValue{});
   st->val_args_.clear();
   st->val_args_.reserve(max_call_args_);
@@ -894,6 +903,56 @@ std::string ExprProgram::ToString() const {
            std::to_string(root.out.reg) + (root.invariant ? "!" : "~");
   }
   out += "\n";
+  if (!const_num_.empty() || !const_str_.empty()) {
+    out += "consts:";
+    for (const auto& [reg, value] : const_num_) {
+      out += " n" + std::to_string(reg) + "=";
+      switch (value.tag) {
+        case ValueType::kInt64:
+          out += "i:" + std::to_string(value.i);
+          break;
+        case ValueType::kDouble:
+          out += "d:" + std::to_string(value.f);
+          break;
+        default:
+          out += "null";
+          break;
+      }
+    }
+    for (const auto& [reg, pool_idx] : const_str_) {
+      out += " s" + std::to_string(reg) + "=\"" + const_str_pool_[pool_idx] +
+             "\"";
+    }
+    out += "\n";
+  }
+  for (size_t i = 0; i < call_sites_.size(); ++i) {
+    const CallSite& site = call_sites_[i];
+    out += "call[" + std::to_string(i) +
+           "]: " + (site.fn != nullptr ? site.fn->name : "?") + "(";
+    for (size_t a = 0; a < site.args.size(); ++a) {
+      if (a > 0) out += ",";
+      out += (site.args[a].is_str ? "s" : "n") +
+             std::to_string(site.args[a].reg);
+    }
+    out += ") owned_slot=" + std::to_string(site.owned_slot) + "\n";
+  }
+  for (size_t i = 0; i < agg_sites_.size(); ++i) {
+    const AggSite& site = agg_sites_[i];
+    out += "agg[" + std::to_string(i) +
+           "]: block=" + std::to_string(site.block_id) +
+           " col=" + std::to_string(site.col) + " keys=(";
+    for (size_t k = 0; k < site.key_regs.size(); ++k) {
+      if (k > 0) out += ",";
+      out += (site.key_regs[k].is_str ? "s" : "n") +
+             std::to_string(site.key_regs[k].reg);
+    }
+    out += ")\n";
+  }
+  out += "regs: num=" + std::to_string(num_regs_) +
+         " str=" + std::to_string(str_regs_) +
+         " owned=" + std::to_string(owned_slots_) +
+         " max_col=" + std::to_string(max_col_) +
+         " max_call_args=" + std::to_string(max_call_args_) + "\n";
   return out;
 }
 

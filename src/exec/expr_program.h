@@ -156,10 +156,38 @@ class ExprProgram {
   size_t prologue_size() const { return prologue_.size(); }
   size_t epilogue_size() const { return epilogue_.size(); }
   size_t num_agg_sites() const { return agg_sites_.size(); }
+  size_t num_call_sites() const { return call_sites_.size(); }
   std::string ToString() const;
+
+  /// True if root `r` lives in the string register file. The plan invariant
+  /// prover (plan/plan_verifier.h) checks this against the plan's static
+  /// output types.
+  bool root_is_string(size_t r) const { return roots_[r].out.is_str; }
+
+  /// Plan-facing view of one aggregate probe site, for cross-checking
+  /// against the source block's schema without exposing register details.
+  struct AggSiteView {
+    int block_id = 0;
+    /// Index into the source block's output schema (group keys first, then
+    /// aggregates — AggregateRegistry::Lookup's column convention).
+    int col = 0;
+    size_t num_keys = 0;
+  };
+  AggSiteView agg_site_view(size_t i) const {
+    return {agg_sites_[i].block_id, agg_sites_[i].col,
+            agg_sites_[i].key_regs.size()};
+  }
+
+  /// Highest row column any kLoad*/kColLineage touches (-1 = no loads).
+  int max_col() const { return max_col_; }
 
  private:
   friend class ExprProgramCompiler;
+  /// The static bytecode verifier (exec/program_verifier.h) walks the raw
+  /// instruction streams; tests corrupt them through the peer to prove the
+  /// verifier rejects every mutation class.
+  friend class ProgramVerifier;
+  friend class ExprProgramTestPeer;
 
   enum class Op : uint8_t {
     kLoadNum,     // dst.num = row[aux]; bail on string

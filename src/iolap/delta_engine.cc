@@ -7,6 +7,7 @@
 
 #include "common/failpoint.h"
 #include "common/hash.h"
+#include "plan/plan_verifier.h"
 
 namespace iolap {
 
@@ -63,10 +64,24 @@ BlockExecutor::BlockExecutor(const QueryPlan* plan, int block_id,
   }
 
   // Lower this block's hot expressions into compiled register programs
-  // (exec/expr_program). Compile() returns null for anything it cannot
-  // prove bit-identical to the interpreter; those expressions simply stay
-  // interpreted.
+  // (exec/expr_program) through the verifier seam: CompileVerified refuses
+  // both what the compiler cannot prove bit-identical and what the static
+  // bytecode verifier rejects; the plan invariant prover then checks the
+  // accepted program against this block's fragment. Any refusal keeps the
+  // interpreter for the block.
   if (options->compile_expressions) {
+    auto drop_if_plan_mismatch = [this](
+                                     std::unique_ptr<const ExprProgram>* prog,
+                                     ProgramRole role) {
+      if (*prog == nullptr) return;
+      const PlanVerifyResult pv =
+          VerifyBlockProgram(*plan_, *block_, **prog, role);
+      if (!pv.ok) {
+        --verifier_stats_.verified;
+        verifier_stats_.RecordRejection("plan-invariant", pv.message);
+        prog->reset();
+      }
+    };
     std::vector<ExprPtr> roots;
     if (block_->filter != nullptr) {
       filter_root_ = 0;
@@ -75,12 +90,15 @@ BlockExecutor::BlockExecutor(const QueryPlan* plan, int block_id,
     arg_root_base_ = static_cast<int>(roots.size());
     for (const AggSpec& agg : block_->aggs) roots.push_back(agg.arg);
     if (!roots.empty()) {
-      row_program_ =
-          ExprProgram::Compile(roots, plan->functions.get(), &ann_->spj_lineage);
+      row_program_ = CompileVerified(roots, plan->functions.get(),
+                                     &ann_->spj_lineage, &verifier_stats_);
+      drop_if_plan_mismatch(&row_program_, ProgramRole::kRowProgram);
     }
     if (!block_->has_aggregate() && !block_->projections.empty()) {
-      proj_program_ = ExprProgram::Compile(
-          block_->projections, plan->functions.get(), &ann_->spj_lineage);
+      proj_program_ =
+          CompileVerified(block_->projections, plan->functions.get(),
+                          &ann_->spj_lineage, &verifier_stats_);
+      drop_if_plan_mismatch(&proj_program_, ProgramRole::kProjection);
     }
   }
   if (row_program_ != nullptr) {

@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "exec/batch.h"
 #include "exec/expr_program.h"
+#include "exec/program_verifier.h"
 #include "exec/hash_aggregate.h"
 #include "exec/operators.h"
 #include "iolap/aggregate_registry.h"
@@ -45,6 +46,19 @@ enum class ErrorMethod {
   /// per-tuple ×trials cost disappears. Supported for COUNT/SUM/AVG;
   /// other aggregates report no estimate and classify conservatively.
   kAnalytic,
+};
+
+/// What a program-verifier rejection does to the query (see
+/// EngineOptions::verify_programs; verification itself is not optional).
+enum class ProgramVerifyMode {
+  /// Drop the rejected program, keep the interpreter for that block, count
+  /// the rejection in QueryMetrics. The default: verification can only
+  /// cost speed, never a result.
+  kEnforce,
+  /// Any rejection fails query Init with an error naming the violated
+  /// rule. For CI corpus gates and tests, where a rejection is always a
+  /// compiler bug that must not hide behind the interpreter fallback.
+  kStrict,
 };
 
 /// Engine knobs; defaults follow the paper's setup (§8: bootstrap with 100
@@ -87,6 +101,15 @@ struct EngineOptions {
   /// to the interpreter (expressions the compiler cannot prove identical
   /// keep the interpreter per block or per row); off = always interpret.
   bool compile_expressions = true;
+  /// Static verification of compiled programs (exec/program_verifier.h +
+  /// plan/plan_verifier.h) is always on: every program must be proven
+  /// sound — and consistent with its plan fragment — before the engine
+  /// accepts it. kEnforce (default) drops a rejected program and keeps the
+  /// interpreter for that block, counting the rejection in QueryMetrics;
+  /// kStrict additionally fails query Init on any rejection, so CI's
+  /// corpus gate turns a compiler bug into a hard error instead of a
+  /// silent slowdown.
+  ProgramVerifyMode verify_programs = ProgramVerifyMode::kEnforce;
   /// Worker threads for intra-batch parallelism (classification and
   /// per-trial re-evaluation of the non-deterministic set, bootstrap trial
   /// accumulation, group re-materialization). 0 = inline execution, no pool.
@@ -163,6 +186,13 @@ class BlockExecutor {
   /// non-deterministic rows disappears the batch those rows stop passing.
   const std::vector<OutputGroup>& latest_output() const {
     return latest_output_;
+  }
+
+  /// Compile→verify counters for this block's programs (row + projection),
+  /// filled at construction; the controller folds them into QueryMetrics
+  /// and enforces ProgramVerifyMode::kStrict.
+  const ProgramVerifierStats& verifier_stats() const {
+    return verifier_stats_;
   }
 
   /// Current full output of a non-aggregate (top SPJ) block: permanently
@@ -406,6 +436,7 @@ class BlockExecutor {
   std::unique_ptr<const ExprProgram> proj_program_;
   int filter_root_ = -1;   // root index of the filter in row_program_
   int arg_root_base_ = 0;  // root index of aggregate argument 0
+  ProgramVerifierStats verifier_stats_;
   /// Lane-private evaluation scratch, one per pool lane (index = the lane
   /// argument ParallelRanges hands each range; inline mode uses lane 0).
   std::vector<ExprProgramState> prog_states_;

@@ -125,6 +125,16 @@ std::string QueryMetrics::Summary() const {
                 TotalShippedBytes() / 1e6, TotalFailureRecoveries(),
                 PeakJoinStateBytes() / 1e6, PeakOtherStateBytes() / 1e3);
   std::string out = buf;
+  // Program-verification detail only when expressions were compiled at
+  // all; a rejection is a compiler bug and must be visible in the line.
+  if (programs_compiled > 0 || programs_rejected > 0 ||
+      compile_refusals > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " programs=%d verified=%d rejected=%d refused=%d",
+                  programs_compiled, programs_verified, programs_rejected,
+                  compile_refusals);
+    out += buf;
+  }
   // Recovery detail only when anything actually went wrong, keeping the
   // healthy-run summary line unchanged.
   if (TotalFailureRecoveries() > 0 || TotalCorruptCheckpoints() > 0 ||

@@ -72,6 +72,19 @@ struct BatchMetrics {
 struct QueryMetrics {
   std::vector<BatchMetrics> batches;
 
+  /// Compile→verify counters of the expression-program seam
+  /// (exec/program_verifier.h), summed over all blocks at query Init —
+  /// query-level, not per batch. `programs_rejected` > 0 means the static
+  /// verifier (or the plan invariant prover) refused a successfully
+  /// compiled program: a compiler bug, survived by falling back to the
+  /// interpreter (or failing Init under ProgramVerifyMode::kStrict).
+  int programs_compiled = 0;
+  int programs_verified = 0;
+  int programs_rejected = 0;
+  /// Expressions the compiler itself refused (nullptr from Compile) —
+  /// expected for constructs outside the compiled subset.
+  int compile_refusals = 0;
+
   double TotalLatencySec() const;
   /// Process CPU time summed over batches; compare with TotalLatencySec()
   /// to see how much intra-batch parallelism the run achieved.

@@ -104,8 +104,34 @@ Status QueryController::Init() {
   }
   // The top block's snapshot feeds the user-facing result + estimates.
   executors_.back()->set_collect_output(true, /*with_trials=*/true);
+  // Every compiled program went through the verifier seam inside the
+  // BlockExecutor constructors; a rejection is a compiler bug. Under
+  // kEnforce the block already fell back to the interpreter and the
+  // counters (folded into metrics at the start of each Run) are the only
+  // trace; under kStrict it fails the query here, rule first.
+  if (options_.verify_programs == ProgramVerifyMode::kStrict) {
+    for (size_t b = 0; b < executors_.size(); ++b) {
+      const ProgramVerifierStats& stats = executors_[b]->verifier_stats();
+      if (stats.rejected > 0) {
+        return Status::Internal(
+            "program verifier rejected a compiled program of block " +
+            std::to_string(b) + ": " + stats.last_rejection);
+      }
+    }
+  }
+  FoldVerifierStats();
   initialized_ = true;
   return Status::OK();
+}
+
+void QueryController::FoldVerifierStats() {
+  for (const auto& executor : executors_) {
+    const ProgramVerifierStats& stats = executor->verifier_stats();
+    metrics_.programs_compiled += stats.compiled;
+    metrics_.programs_verified += stats.verified;
+    metrics_.programs_rejected += stats.rejected;
+    metrics_.compile_refusals += stats.refused;
+  }
 }
 
 RowBatch QueryController::StreamDelta(int b) const {
@@ -269,6 +295,7 @@ Status QueryController::Run(const ResultObserver& observer) {
   ScopedFailpoints scoped_failpoints(MergedFailpointSpec(options_.failpoints));
   IOLAP_RETURN_IF_ERROR(scoped_failpoints.status());
   metrics_ = QueryMetrics{};
+  FoldVerifierStats();
   checkpoints_.clear();
   degrade_level_ = 0;
 

@@ -71,6 +71,11 @@ class QueryController {
   int ProcessOneBatch(int b, BlockBatchStats* stats,
                       bool* injected_only = nullptr);
 
+  /// Sums the executors' compile→verify counters into metrics_. Called at
+  /// Init and again after each Run resets the metrics (the counters are
+  /// Init-time facts and must survive the per-run reset).
+  void FoldVerifierStats();
+
   /// Restores all state to the newest verifiable checkpoint at or before
   /// batch `target` (-1, or no usable candidate, = full restart). Corrupt
   /// checkpoints (checksum mismatch) are skipped with escalation to the

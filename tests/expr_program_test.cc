@@ -17,6 +17,7 @@
 #include "core/function_registry.h"
 #include "core/value.h"
 #include "exec/expr_program.h"
+#include "exec/program_verifier.h"
 #include "iolap/session.h"
 #include "workloads/conviva.h"
 #include "workloads/conviva_queries.h"
@@ -172,6 +173,11 @@ struct Harness {
                 const std::string& context) {
     auto program = ExprProgram::Compile(roots, functions.get(), lineage);
     if (program == nullptr) return false;
+    // Everything the compiler accepts must pass the static verifier.
+    const VerifyResult vr = ProgramVerifier::Verify(*program);
+    EXPECT_TRUE(vr.ok) << context << ": verifier rejected a compiled program ["
+                       << vr.rule << "] " << vr.message << "\n"
+                       << program->ToString();
     ExprProgramState state;
     program->InitState(&state);
     EXPECT_TRUE(program->Bind(&state, row, &resolver, trials)) << context;
@@ -746,6 +752,15 @@ TEST(ExprProgramFuzzTest, CompiledBitIdenticalToInterpreter) {
     auto program = ExprProgram::Compile(roots, h.functions.get(), nullptr);
     // The generator only produces constructs the compiler covers.
     ASSERT_NE(program, nullptr) << "iter " << iter;
+    // Third oracle (besides the interpreter and the bail flag): the static
+    // verifier must accept every compiled program. A verifier-accept that
+    // then diverges from the interpreter fails the BitEqual asserts below,
+    // so accept ∧ divergence is a hard failure of this test.
+    const VerifyResult vr = ProgramVerifier::Verify(*program);
+    ASSERT_TRUE(vr.ok) << "iter " << iter
+                       << ": verifier rejected a compiled program ["
+                       << vr.rule << "] " << vr.message << "\n"
+                       << program->ToString();
     ++compiled;
     ExprProgramState state;
     program->InitState(&state);

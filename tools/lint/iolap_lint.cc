@@ -30,11 +30,19 @@
 //                     Fault-injection specs (IOLAP_FAILPOINTS) address
 //                     failpoints by name, so a duplicated or oddly-spelled
 //                     name silently breaks chaos schedules.
+//   verifier-bypass   No direct ExprProgram::Compile outside the compiler's
+//                     own files, the verifier seam (program_verifier.cc)
+//                     and tests/benchmarks. Engine code goes through
+//                     CompileVerified so every compiled program is
+//                     statically proven sound before it executes
+//                     (docs/INTERNALS.md §10).
 //
 // Escape hatch: a finding on line L is suppressed by `// NOLINT` or
 // `// NOLINT(rule-name)` on line L, or `// NOLINTNEXTLINE(rule-name)` on
-// line L-1 — same spelling clang-tidy uses, so one comment can satisfy
-// both tools.
+// line L-1; a `// NOLINTBEGIN(rule-name)` ... `// NOLINTEND(rule-name)`
+// pair suppresses the rule for every line between them (bare NOLINTBEGIN
+// covers all rules) — same spellings clang-tidy uses, so one comment can
+// satisfy both tools.
 //
 // Frontend note: the tool lexes translation units with its own minimal
 // C++ tokenizer instead of libclang, so it builds and runs anywhere the
@@ -179,16 +187,21 @@ std::vector<Token> Lex(const std::string& src) {
   return out;
 }
 
-// True when `line` (1-based) carries a NOLINT marker for `rule`, or the
-// previous line carries a NOLINTNEXTLINE marker for it.
-bool Suppressed(const FileContent& file, int line, const std::string& rule) {
-  auto matches = [&](const std::string& text, const char* marker) {
-    const size_t pos = text.find(marker);
-    if (pos == std::string::npos) return false;
-    const size_t open = pos + std::string(marker).size();
+// True when `text` carries `marker` — as a whole word, so "NOLINT" does not
+// match inside "NOLINTBEGIN" — naming `rule` (or the bare / "*" form).
+bool MarkerMatches(const std::string& text, const char* marker,
+                   const std::string& rule) {
+  const std::string m(marker);
+  size_t pos = 0;
+  while ((pos = text.find(m, pos)) != std::string::npos) {
+    const size_t open = pos + m.size();
+    pos = open;
+    // A longer marker ("NOLINT" inside "NOLINTNEXTLINE"/"NOLINTBEGIN"):
+    // not this marker.
+    if (open < text.size() && IsIdentChar(text[open])) continue;
     if (open >= text.size() || text[open] != '(') return true;  // bare form
     const size_t close = text.find(')', open);
-    if (close == std::string::npos) return false;
+    if (close == std::string::npos) continue;
     const std::string rules = text.substr(open + 1, close - open - 1);
     std::stringstream ss(rules);
     std::string item;
@@ -199,20 +212,36 @@ bool Suppressed(const FileContent& file, int line, const std::string& rule) {
       const std::string name = item.substr(b, e - b + 1);
       if (name == rule || name == "*") return true;
     }
-    return false;
-  };
-  if (line >= 1 && line <= static_cast<int>(file.raw_lines.size())) {
-    const std::string& text = file.raw_lines[line - 1];
-    // NOLINTNEXTLINE on the same line must not count as NOLINT.
-    if (text.find("NOLINTNEXTLINE") == std::string::npos &&
-        matches(text, "NOLINT")) {
-      return true;
-    }
-  }
-  if (line >= 2 && matches(file.raw_lines[line - 2], "NOLINTNEXTLINE")) {
-    return true;
   }
   return false;
+}
+
+// True when `line` (1-based) carries a NOLINT marker for `rule`, the
+// previous line carries a NOLINTNEXTLINE marker for it, or the line sits
+// inside a // NOLINTBEGIN(rule) ... // NOLINTEND(rule) block (clang-tidy's
+// block form; bare NOLINTBEGIN opens a block for every rule).
+bool Suppressed(const FileContent& file, int line, const std::string& rule) {
+  if (line >= 1 && line <= static_cast<int>(file.raw_lines.size()) &&
+      MarkerMatches(file.raw_lines[line - 1], "NOLINT", rule)) {
+    return true;
+  }
+  if (line >= 2 && MarkerMatches(file.raw_lines[line - 2], "NOLINTNEXTLINE",
+                                 rule)) {
+    return true;
+  }
+  // Block form: count open BEGIN/END pairs for this rule above the finding.
+  // An END on the finding line itself does not re-expose it (the block is
+  // taken to cover its own closing line), matching clang-tidy.
+  int depth = 0;
+  const int last = std::min(line, static_cast<int>(file.raw_lines.size()));
+  for (int l = 1; l <= last; ++l) {
+    const std::string& text = file.raw_lines[l - 1];
+    if (MarkerMatches(text, "NOLINTBEGIN", rule)) ++depth;
+    if (l < line && MarkerMatches(text, "NOLINTEND", rule) && depth > 0) {
+      --depth;
+    }
+  }
+  return depth > 0;
 }
 
 void Emit(const FileContent& file, int line, const std::string& rule,
@@ -495,6 +524,41 @@ void CheckFailpointNames(const FileContent& file,
   }
 }
 
+// --- rule: verifier-bypass -----------------------------------------------
+
+// Engine code must obtain compiled programs through CompileVerified
+// (exec/program_verifier.h) so every program is statically verified before
+// it executes; a direct ExprProgram::Compile call is a seam around the
+// verifier. The compiler's own files define Compile, the verifier wraps
+// it, and tests/benchmarks deliberately poke the raw path.
+bool VerifierBypassAllowed(const std::string& path) {
+  const std::string base = fs::path(path).filename().string();
+  if (base == "expr_program.h" || base == "expr_program.cc" ||
+      base == "program_verifier.cc") {
+    return true;
+  }
+  for (const auto& part : fs::path(path)) {
+    if (part == "tests" || part == "bench" || part == "examples") return true;
+  }
+  return false;
+}
+
+void CheckVerifierBypass(const FileContent& file,
+                         std::vector<Finding>* findings) {
+  if (VerifierBypassAllowed(file.path)) return;
+  const auto& t = file.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].text == "ExprProgram" && t[i + 1].text == "::" &&
+        t[i + 2].text == "Compile") {
+      Emit(file, t[i].line, "verifier-bypass",
+           "direct ExprProgram::Compile outside the verifier seam; obtain "
+           "programs via CompileVerified (exec/program_verifier.h) so every "
+           "compiled program is proven sound before execution",
+           findings);
+    }
+  }
+}
+
 // --- input gathering -----------------------------------------------------
 
 bool HasSourceExtension(const fs::path& p) {
@@ -684,6 +748,7 @@ int main(int argc, char** argv) {
     CheckRngConstruction(file, &findings);
     CheckGuardedMutable(file, &findings);
     CheckFailpointNames(file, &findings);
+    CheckVerifierBypass(file, &findings);
   }
 
   std::sort(findings.begin(), findings.end(),

@@ -1,0 +1,24 @@
+// iolap_lint fixture: block suppression. Two raw std::get calls sit inside
+// a value-get block and must be silent; the one after the block closes must
+// be the single finding. (The block-marker spellings never appear in this
+// prose: the lexer honors them anywhere on a line.) Fixtures are input to
+// the lint lexer only and are never compiled.
+#include <variant>
+
+namespace fixture {
+
+// NOLINTBEGIN(value-get): this helper is allowed to touch the variant raw.
+inline long InsideBlockA(const std::variant<long, double>& v) {
+  return std::get<long>(v);
+}
+
+inline long InsideBlockB(const std::variant<long, double>& v) {
+  return std::get<long>(v);
+}
+// NOLINTEND(value-get)
+
+inline long OutsideBlock(const std::variant<long, double>& v) {
+  return std::get<long>(v);  // finding: value-get
+}
+
+}  // namespace fixture

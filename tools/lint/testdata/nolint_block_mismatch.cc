@@ -1,0 +1,23 @@
+// iolap_lint fixture: a suppression block naming one rule must not silence
+// a different rule — the std::get inside the pool-capture block is still
+// the single value-get finding, while the bare block below covers all
+// rules. (The block-marker spellings never appear in this prose: the lexer
+// honors them anywhere on a line.) Fixtures are input to the lint lexer
+// only and are never compiled.
+#include <variant>
+
+namespace fixture {
+
+// NOLINTBEGIN(pool-capture)
+inline long WrongRuleBlock(const std::variant<long, double>& v) {
+  return std::get<long>(v);  // finding: value-get (block names another rule)
+}
+// NOLINTEND(pool-capture)
+
+// NOLINTBEGIN
+inline long BareBlock(const std::variant<long, double>& v) {
+  return std::get<long>(v);  // bare block covers every rule: silent
+}
+// NOLINTEND
+
+}  // namespace fixture
