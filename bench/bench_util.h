@@ -21,13 +21,20 @@
 
 // Machine-readable companion output: benches also emit a BENCH_<id>.json
 // in the working directory so dashboards and regression scripts don't have
-// to parse the human-oriented tab format. Uniform row schema:
+// to parse the human-oriented tab format. Several binaries share
+// BENCH_fig7.json (fig7 latency rows, fig9/fig10 exchange rows); Flush()
+// merges by row name so each binary replaces only its own series no matter
+// which ran last. Uniform row schema:
 //   {"name": ..., "wall_sec": ..., "cpu_sec": ..., "rows_per_sec": ...,
 //    "threads": ...}
 // Rows added with recovery metrics carry additional keys:
 //   "recoveries", "max_rollback_depth", "full_restarts",
 //   "corrupt_checkpoints", "injected_faults", "frozen_replay_batches",
 //   "recoveries_exhausted", "degraded"
+// Rows added with exchange metrics carry:
+//   "shipped_bytes" (measured ExchangeLayer wire traffic, retransmissions
+//   included) and "modeled_bytes" (the old virtual-worker cost model's
+//   prediction for the same run, kept so the model's error stays visible)
 
 namespace iolap {
 namespace bench {
@@ -67,17 +74,45 @@ class JsonWriter {
     e.frozen_replay_batches = metrics.TotalFrozenReplayBatches();
     e.recoveries_exhausted = metrics.TotalRecoveriesExhausted();
     e.degraded = metrics.DegradedMode();
+    // Recovery rows come from full engine runs, so the measured-vs-modeled
+    // exchange pair is always available — carry it too.
+    e.has_exchange = true;
+    e.shipped_bytes = metrics.TotalShippedBytes();
+    e.modeled_bytes = metrics.TotalModeledShippedBytes();
+    rows_.push_back(std::move(e));
+  }
+
+  /// Same row plus the measured-vs-modeled exchange byte counts — used by
+  /// the shuffle/broadcast memory benches (fig9/fig10) so the cost model's
+  /// drift from the wire is a tracked series, not a footnote.
+  void AddWithExchange(const std::string& name, double wall_sec,
+                       double cpu_sec, double rows_per_sec, size_t threads,
+                       const QueryMetrics& metrics) {
+    Entry e{name, wall_sec, cpu_sec, rows_per_sec, threads};
+    e.has_exchange = true;
+    e.shipped_bytes = metrics.TotalShippedBytes();
+    e.modeled_bytes = metrics.TotalModeledShippedBytes();
     rows_.push_back(std::move(e));
   }
 
   /// Writes the file; returns false (and prints to stderr) on I/O failure.
+  /// Rows already on disk whose name is not being re-emitted survive the
+  /// rewrite verbatim, so bench binaries sharing one file never clobber
+  /// each other's series.
   bool Flush() const {
+    const std::vector<std::string> kept = KeptExistingLines();
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", path_.c_str());
       return false;
     }
     std::fprintf(f, "[\n");
+    const size_t total = kept.size() + rows_.size();
+    size_t written = 0;
+    for (const std::string& line : kept) {
+      ++written;
+      std::fprintf(f, "%s%s\n", line.c_str(), written < total ? "," : "");
+    }
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Entry& e = rows_[i];
       std::fprintf(f,
@@ -86,6 +121,12 @@ class JsonWriter {
                    "\"threads\": %zu",
                    Escaped(e.name).c_str(), e.wall_sec, e.cpu_sec,
                    e.rows_per_sec, e.threads);
+      if (e.has_exchange) {
+        std::fprintf(f,
+                     ", \"shipped_bytes\": %llu, \"modeled_bytes\": %llu",
+                     static_cast<unsigned long long>(e.shipped_bytes),
+                     static_cast<unsigned long long>(e.modeled_bytes));
+      }
       if (e.has_recovery) {
         std::fprintf(f,
                      ", \"recoveries\": %d, \"max_rollback_depth\": %d, "
@@ -97,7 +138,8 @@ class JsonWriter {
                      e.frozen_replay_batches, e.recoveries_exhausted,
                      e.degraded ? "true" : "false");
       }
-      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+      ++written;
+      std::fprintf(f, "}%s\n", written < total ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
@@ -111,6 +153,10 @@ class JsonWriter {
     double cpu_sec;
     double rows_per_sec;
     size_t threads;
+    // Optional measured-vs-modeled exchange bytes (AddWithExchange).
+    bool has_exchange = false;
+    uint64_t shipped_bytes = 0;
+    uint64_t modeled_bytes = 0;
     // Optional failure-recovery counters (AddWithRecovery).
     bool has_recovery = false;
     int recoveries = 0;
@@ -122,6 +168,46 @@ class JsonWriter {
     int recoveries_exhausted = 0;
     bool degraded = false;
   };
+
+  // Row lines already in the file whose "name" is not among the rows being
+  // written. The file is line-oriented (one row object per line, two-space
+  // indent), so a string scan suffices — no JSON parser needed. Truncated
+  // or unrecognizable lines are dropped rather than preserved blind.
+  std::vector<std::string> KeptExistingLines() const {
+    std::vector<std::string> kept;
+    std::FILE* in = std::fopen(path_.c_str(), "r");
+    if (in == nullptr) return kept;
+    char buf[4096];
+    const std::string prefix = "  {\"name\": \"";
+    while (std::fgets(buf, sizeof(buf), in) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (line.compare(0, prefix.size(), prefix) != 0) continue;
+      std::string name;
+      bool closed = false;
+      for (size_t i = prefix.size(); i < line.size(); ++i) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          name.push_back(line[i + 1]);
+          ++i;
+        } else if (line[i] == '"') {
+          closed = true;
+          break;
+        } else {
+          name.push_back(line[i]);
+        }
+      }
+      if (!closed) continue;
+      bool replaced = false;
+      for (const Entry& e : rows_) replaced = replaced || e.name == name;
+      if (replaced) continue;
+      if (!line.empty() && line.back() == ',') line.pop_back();
+      kept.push_back(std::move(line));
+    }
+    std::fclose(in);
+    return kept;
+  }
 
   static std::string Escaped(const std::string& s) {
     std::string out;

@@ -11,6 +11,8 @@
 #include "common/thread_pool.h"
 #include "iolap/delta_engine.h"
 #include "iolap/metrics.h"
+#include "shard/exchange.h"
+#include "shard/shard.h"
 
 namespace iolap {
 
@@ -63,6 +65,19 @@ class QueryController {
   /// The §5 non-deterministic set size summed over blocks (Fig. 9(e)).
   size_t PendingCount() const;
 
+  /// Cumulative exchange traffic/fault counters (valid after Init; the
+  /// source of the measured shipped/retry/death columns in QueryMetrics).
+  const ExchangeCounters& exchange_counters() const {
+    return exchange_->counters();
+  }
+
+  /// Checkpoint-ring introspection for tests: entries currently retained
+  /// (bounded by EngineOptions::checkpoint_history — corrupt snapshots are
+  /// pruned during recovery, so the ring never accretes dead payloads)
+  /// and their approximate retained bytes.
+  size_t checkpoint_ring_size() const { return checkpoints_.size(); }
+  size_t CheckpointRingBytes() const;
+
  private:
   /// Runs every block for batch `b`; returns a rollback target or
   /// BlockExecutor::kNoRollback. `injected_only` (optional) reports whether
@@ -111,6 +126,11 @@ class QueryController {
   /// options_.num_threads == 0). Declared before executors_ so it outlives
   /// the BlockExecutors that borrow it.
   std::unique_ptr<ThreadPool> pool_;
+  /// The shard fleet and its exchange seam (always created, S =
+  /// options_.num_shards). Declared before executors_ so they outlive the
+  /// BlockExecutors that borrow them.
+  std::unique_ptr<ShardSet> shards_;
+  std::unique_ptr<ExchangeLayer> exchange_;
   std::vector<std::unique_ptr<BlockExecutor>> executors_;
 
   std::shared_ptr<const Table> streamed_table_;

@@ -1,0 +1,127 @@
+#include "shard/exchange.h"
+
+#include "catalog/partitioner.h"
+#include "common/failpoint.h"
+#include "common/hash.h"
+#include "shard/shard.h"
+
+namespace iolap {
+
+namespace {
+
+// One message's failpoint detail: deterministic site facts only (batch
+// number and shard endpoint), so `at:` schedules are independent of thread
+// count. kMaxShards keeps the encoding unambiguous.
+uint64_t ExchangeDetail(int batch, int shard_endpoint) {
+  return static_cast<uint64_t>(batch) * kMaxShards +
+         static_cast<uint64_t>(shard_endpoint < 0 ? 0 : shard_endpoint);
+}
+
+}  // namespace
+
+const char* ExchangeKindName(ExchangeKind kind) {
+  switch (kind) {
+    case ExchangeKind::kDeltaRoute:
+      return "delta-route";
+    case ExchangeKind::kPartialAggregate:
+      return "partial-aggregate";
+    case ExchangeKind::kBroadcastLineage:
+      return "broadcast-lineage";
+  }
+  return "unknown";
+}
+
+int ExchangeMessage::ShardEndpoint() const {
+  return src == kCoordinator ? dst : src;
+}
+
+uint64_t ExchangeChecksum(const ExchangeMessage& msg) {
+  uint64_t h = Mix64(static_cast<uint64_t>(msg.kind) + 1);
+  h = HashCombine(h, static_cast<uint64_t>(msg.batch));
+  h = HashCombine(h, static_cast<uint64_t>(static_cast<int64_t>(msg.src)));
+  h = HashCombine(h, static_cast<uint64_t>(static_cast<int64_t>(msg.dst)));
+  h = HashCombine(h, msg.payload_bytes);
+  h = HashCombine(h, msg.payload_hash);
+  return h;
+}
+
+ExchangeLayer::ExchangeLayer(ShardSet* shards, int max_attempts)
+    : shards_(shards), max_attempts_(max_attempts < 1 ? 1 : max_attempts) {}
+
+Result<uint64_t> ExchangeLayer::Ship(ExchangeKind kind, int batch, int src,
+                                     int dst, uint64_t payload_bytes,
+                                     uint64_t payload_hash) {
+  ExchangeMessage msg;
+  msg.kind = kind;
+  msg.batch = batch;
+  msg.src = src;
+  msg.dst = dst;
+  msg.payload_bytes = payload_bytes;
+  msg.payload_hash = payload_hash;
+  msg.checksum = ExchangeChecksum(msg);
+
+  const int endpoint = msg.ShardEndpoint();
+  const uint64_t detail = ExchangeDetail(batch, endpoint);
+  uint64_t wire = 0;
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    counters_.attempts += 1;
+    wire += msg.WireBytes();
+    counters_.wire_bytes += msg.WireBytes();
+    if (attempt > 0) {
+      counters_.retries += 1;
+      // Bounded exponential backoff, recorded rather than slept: the
+      // in-process wire has no real latency to wait out, but the counter
+      // keeps the retry policy observable and deterministic.
+      counters_.backoff_virtual_ms += 1ull << (attempt - 1);
+    }
+    if (IOLAP_FAILPOINT(Failpoint::kExchangeMessageDrop, detail)) {
+      // Lost in flight: the sender's per-message deadline expires and the
+      // message is retransmitted.
+      counters_.timeouts += 1;
+      continue;
+    }
+    uint64_t received_checksum = msg.checksum;
+    if (IOLAP_FAILPOINT(Failpoint::kExchangeMessageCorrupt, detail)) {
+      received_checksum ^= 1;  // one flipped bit on the wire
+    }
+    if (received_checksum != ExchangeChecksum(msg)) {
+      // Receiver rejects the corrupted delivery; sender retries.
+      counters_.checksum_failures += 1;
+      continue;
+    }
+    counters_.messages += 1;
+    counters_.payload_bytes += msg.payload_bytes;
+    if (dst != ExchangeMessage::kCoordinator) {
+      shards_->shard(static_cast<size_t>(dst)).AbsorbExchangePayload(msg);
+    }
+    return wire;
+  }
+  // Deadline exhausted: the shard endpoint is unreachable. Declare it dead;
+  // the controller rebuilds its state from the last consistent batch.
+  KillShard(static_cast<size_t>(endpoint));
+  return Status::ExecutionError(
+      std::string("exchange: ") + ExchangeKindName(kind) + " to shard " +
+      std::to_string(endpoint) + " exhausted " +
+      std::to_string(max_attempts_) + " attempts; shard declared dead");
+}
+
+void ExchangeLayer::KillShard(size_t shard) {
+  if (shard < shards_->size() && shards_->shard(shard).alive()) {
+    shards_->shard(shard).MarkDead();
+    counters_.shard_deaths += 1;
+  }
+}
+
+bool ExchangeLayer::IsDead(size_t shard) const {
+  return shard < shards_->size() && !shards_->shard(shard).alive();
+}
+
+bool ExchangeLayer::AnyDead() const {
+  return shards_->AliveCount() < shards_->size();
+}
+
+void ExchangeLayer::ReviveAll() {
+  for (size_t i = 0; i < shards_->size(); ++i) shards_->shard(i).Revive();
+}
+
+}  // namespace iolap

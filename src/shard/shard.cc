@@ -1,0 +1,31 @@
+#include "shard/shard.h"
+
+#include "catalog/partitioner.h"
+#include "core/value.h"
+
+namespace iolap {
+
+ShardSet::ShardSet(size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) shards_.emplace_back(i);
+}
+
+size_t ShardSet::ShardOf(const ExecRow& row) const {
+  if (shards_.size() <= 1) return 0;
+  const uint64_t h =
+      row.FromStream() ? row.stream_uid : HashRow(row.values);
+  return ShardOfHash(h, shards_.size());
+}
+
+void ShardSet::BeginBlockBatch() {
+  for (ShardState& s : shards_) s.BeginBlockBatch();
+}
+
+size_t ShardSet::AliveCount() const {
+  size_t alive = 0;
+  for (const ShardState& s : shards_) alive += s.alive() ? 1 : 0;
+  return alive;
+}
+
+}  // namespace iolap

@@ -1,0 +1,90 @@
+#ifndef IOLAP_SHARD_SHARD_H_
+#define IOLAP_SHARD_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "exec/batch.h"
+#include "shard/exchange.h"
+
+namespace iolap {
+
+/// One in-process horizontal shard. A shard owns a disjoint slice of every
+/// relation — rows route here by stable hash (catalog/partitioner's
+/// ShardOfHash), so a replayed tuple always lands on the same shard — and
+/// an arena for the batch currently being evaluated: the global row
+/// indices it owns plus the traffic it absorbed through the exchange.
+///
+/// Shard state is only ever mutated from the coordinator thread (arena
+/// bookkeeping, exchange delivery) or read by the shard's own eval task;
+/// cross-shard access goes through the ExchangeLayer seam, which the
+/// `exchange-bypass` lint rule enforces at the token level.
+class ShardState {
+ public:
+  explicit ShardState(size_t shard_id) : shard_id_(shard_id) {}
+
+  size_t shard_id() const { return shard_id_; }
+  bool alive() const { return alive_; }
+
+  /// The arena: global row indices of the current block batch this shard
+  /// owns. Reset per block batch, appended by the coordinator's routing
+  /// pass, iterated by this shard's eval task.
+  const std::vector<uint32_t>& owned_rows() const { return owned_rows_; }
+  void OwnRow(uint32_t global_row_index) {
+    owned_rows_.push_back(global_row_index);
+  }
+  void BeginBlockBatch() { owned_rows_.clear(); }
+
+  /// Exchange delivery target — the ONLY entry point through which bytes
+  /// reach a shard from the outside. Called exclusively by
+  /// ExchangeLayer::Ship (src/shard/exchange.cc); any other call site is
+  /// a seam bypass and is rejected by tools/lint's `exchange-bypass` rule.
+  void AbsorbExchangePayload(const ExchangeMessage& msg) {
+    absorbed_messages_ += 1;
+    absorbed_bytes_ += msg.payload_bytes;
+  }
+
+  uint64_t absorbed_messages() const { return absorbed_messages_; }
+  uint64_t absorbed_bytes() const { return absorbed_bytes_; }
+
+  /// Death / rebirth, driven by the ExchangeLayer degradation path.
+  void MarkDead() { alive_ = false; }
+  void Revive() { alive_ = true; }
+
+ private:
+  size_t shard_id_;
+  bool alive_ = true;
+  std::vector<uint32_t> owned_rows_;
+  uint64_t absorbed_messages_ = 0;
+  uint64_t absorbed_bytes_ = 0;
+};
+
+/// The fleet of S shards plus the deterministic row → shard routing rule.
+/// S = 1 degenerates to the unsharded engine: every row owns to shard 0
+/// and the evaluate phase falls back to lane-parallel ranges.
+class ShardSet {
+ public:
+  explicit ShardSet(size_t num_shards);
+
+  size_t size() const { return shards_.size(); }
+  ShardState& shard(size_t i) { return shards_[i]; }
+  const ShardState& shard(size_t i) const { return shards_[i]; }
+
+  /// Owner shard of a tuple: streamed rows route by their stable stream
+  /// uid (recovery replays re-route them identically), derived rows by
+  /// the hash of their values.
+  size_t ShardOf(const ExecRow& row) const;
+
+  /// Clears every shard's arena before a block batch is routed.
+  void BeginBlockBatch();
+
+  size_t AliveCount() const;
+
+ private:
+  std::vector<ShardState> shards_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_SHARD_SHARD_H_

@@ -22,6 +22,10 @@ QueryMetrics MakeMetrics() {
     bm.join_state_bytes = 1000 + 100 * b;
     bm.other_state_bytes = 500 - 50 * b;
     bm.shipped_bytes = 2000;
+    bm.modeled_shipped_bytes = 1500;
+    bm.exchange_messages = 12;
+    bm.exchange_retries = b == 1 ? 2 : 0;
+    bm.shard_deaths = b == 2 ? 1 : 0;
     bm.failure_recoveries = b == 2 ? 3 : 0;
     metrics.batches.push_back(bm);
   }
@@ -35,6 +39,10 @@ TEST(MetricsTest, Totals) {
   EXPECT_EQ(metrics.TotalShippedBytes(), 8000u);
   EXPECT_EQ(metrics.MaxShippedBytesPerBatch(), 2000u);
   EXPECT_NEAR(metrics.AvgShippedBytesPerBatch(), 2000.0, 1e-9);
+  EXPECT_EQ(metrics.TotalModeledShippedBytes(), 6000u);
+  EXPECT_EQ(metrics.TotalExchangeMessages(), 48u);
+  EXPECT_EQ(metrics.TotalExchangeRetries(), 2);
+  EXPECT_EQ(metrics.TotalShardDeaths(), 1);
   EXPECT_EQ(metrics.TotalFailureRecoveries(), 3);
   EXPECT_EQ(metrics.PeakJoinStateBytes(), 1300u);
   EXPECT_EQ(metrics.PeakOtherStateBytes(), 500u);
@@ -68,6 +76,25 @@ TEST(MetricsTest, LatencyToFractionKeysOnFractionNotBatchIndex) {
   EXPECT_NEAR(metrics.LatencyToFraction(0.60), 0.1, 1e-9);
   EXPECT_NEAR(metrics.LatencyToFraction(0.65), 0.2, 1e-9);
   EXPECT_NEAR(metrics.LatencyToFraction(0.99), 0.3, 1e-9);
+}
+
+TEST(MetricsTest, SummaryReportsMeasuredAndModeledBytes) {
+  const QueryMetrics metrics = MakeMetrics();
+  const std::string summary = metrics.Summary();
+  // Measured exchange bytes are the headline number; the cost model's
+  // prediction rides along for comparison.
+  EXPECT_NE(summary.find("shipped="), std::string::npos);
+  EXPECT_NE(summary.find("modeled="), std::string::npos);
+  // Exchange-fault detail appears because retries/deaths are nonzero...
+  EXPECT_NE(summary.find("exchange_retries=2"), std::string::npos);
+  EXPECT_NE(summary.find("shard_deaths=1"), std::string::npos);
+  // ... and stays off the healthy-run line.
+  QueryMetrics healthy = MakeMetrics();
+  for (auto& bm : healthy.batches) {
+    bm.exchange_retries = 0;
+    bm.shard_deaths = 0;
+  }
+  EXPECT_EQ(healthy.Summary().find("exchange_retries"), std::string::npos);
 }
 
 TEST(MetricsTest, EmptyMetrics) {

@@ -1,0 +1,27 @@
+// iolap_lint fixture: the exchange-bypass rule must flag the direct
+// ShardState::AbsorbExchangePayload below exactly once. This file's path
+// has no tests/bench segment ("testdata" does not count), so the
+// exemptions stay out of the way. Fixtures are input to the lint lexer
+// only and are never compiled.
+namespace fixture {
+
+inline void BypassesExchange(ShardSet* shards, const ExchangeMessage& msg) {
+  // Cross-shard state access around the wire: unmeasured, unchecksummed.
+  shards->shard(1).AbsorbExchangePayload(msg);  // finding
+}
+
+inline void SanctionedSeam(ExchangeLayer* exchange, int batch) {
+  // The sanctioned path: ship through the exchange, which checksums,
+  // retries, measures, and only then delivers to the destination shard.
+  auto shipped = exchange->Ship(ExchangeKind::kPartialAggregate, batch,
+                                /*src=*/1, ExchangeMessage::kCoordinator,
+                                /*payload_bytes=*/64, /*payload_hash=*/7);
+  (void)shipped;
+}
+
+inline void SuppressedBypass(ShardSet* shards, const ExchangeMessage& msg) {
+  // NOLINTNEXTLINE(exchange-bypass): fixture demonstrates the escape hatch.
+  shards->shard(1).AbsorbExchangePayload(msg);
+}
+
+}  // namespace fixture
